@@ -1,0 +1,61 @@
+"""Benchmark harness configuration.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md §4).  Experiments print their tables to stdout *and* write
+them to ``benchmarks/results/<name>.txt`` so artefacts survive pytest's
+output capture.
+
+Environment knobs (defaults keep the whole suite CPU-friendly):
+
+* ``REPRO_BENCH_SCALE``  — dataset scale multiplier (default 0.5)
+* ``REPRO_BENCH_EPOCHS`` — training epoch cap     (default 30)
+* ``REPRO_BENCH_SEEDS``  — comma-separated seeds  (default "0")
+
+For a full-fidelity regeneration:
+    REPRO_BENCH_SCALE=1.0 REPRO_BENCH_EPOCHS=120 REPRO_BENCH_SEEDS=0,1,2 \
+        pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data import load_preset, temporal_split
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "30"))
+BENCH_SEEDS = tuple(
+    int(s) for s in os.environ.get("REPRO_BENCH_SEEDS", "0").split(",") if s != ""
+)
+
+_SPLIT_CACHE: dict[str, object] = {}
+
+
+def get_split(preset: str):
+    """Session-cached temporal split of a preset at the bench scale."""
+    key = f"{preset}@{BENCH_SCALE}"
+    if key not in _SPLIT_CACHE:
+        _SPLIT_CACHE[key] = temporal_split(load_preset(preset, scale=BENCH_SCALE))
+    return _SPLIT_CACHE[key]
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture()
+def bench_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,95 @@
+"""Design-choice ablations beyond the paper's Table III (DESIGN.md §5).
+
+Three choices the paper fixes without ablating, each isolated here:
+
+* personalised α_u (Eq. 16) vs a fixed global α;
+* Einstein-midpoint local aggregation (Eqs. 9–11) vs a tangent-space mean;
+* adaptive clustering with general-tag push-up (Algorithm 1) vs plain
+  Poincaré k-means (δ = 0 disables the push-up).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import evaluate
+from repro.models import TaxoRec
+from repro.models.defaults import tuned_config
+from repro.utils import render_table
+
+from conftest import BENCH_EPOCHS, BENCH_SEEDS, get_split, save_result
+
+PRESET = "amazon-cd"
+
+
+def _fit_eval(split, seed, model_kwargs=None, **config_kwargs):
+    config = tuned_config("TaxoRec", PRESET, epochs=BENCH_EPOCHS, seed=seed, **config_kwargs)
+    model = TaxoRec(split.train, config, **(model_kwargs or {}))
+    model.fit(split)
+    return evaluate(model, split, on="test")
+
+
+def _mean(split, model_kwargs=None, **config_kwargs):
+    vals = [
+        _fit_eval(split, seed, model_kwargs, **config_kwargs).mean()
+        for seed in BENCH_SEEDS
+    ]
+    return float(np.mean(vals))
+
+
+def test_ablation_personalized_alpha(bench_once):
+    split = get_split(PRESET)
+
+    def run():
+        return {
+            "personalised α_u (Eq. 16)": _mean(split),
+            "fixed α = 0.1": _mean(split, model_kwargs=dict(personalized_alpha=False, fixed_alpha=0.1)),
+            "fixed α = 0.5": _mean(split, model_kwargs=dict(personalized_alpha=False, fixed_alpha=0.5)),
+            "fixed α = 1.0": _mean(split, model_kwargs=dict(personalized_alpha=False, fixed_alpha=1.0)),
+        }
+
+    results = bench_once(run)
+    text = render_table(
+        ["Variant", "mean metric (%)"],
+        [[k, f"{100 * v:.2f}"] for k, v in results.items()],
+        title=f"Ablation ({PRESET}): personalised vs fixed tag weights",
+    )
+    save_result("ablation_alpha", text)
+    assert all(v > 0 for v in results.values())
+
+
+def test_ablation_local_aggregation(bench_once):
+    split = get_split(PRESET)
+
+    def run():
+        return {
+            "Einstein midpoint (Eq. 10)": _mean(split),
+            "tangent-space mean": _mean(split, model_kwargs=dict(local_agg="tangent_mean")),
+        }
+
+    results = bench_once(run)
+    text = render_table(
+        ["Local aggregation", "mean metric (%)"],
+        [[k, f"{100 * v:.2f}"] for k, v in results.items()],
+        title=f"Ablation ({PRESET}): item tag-embedding aggregation",
+    )
+    save_result("ablation_midpoint", text)
+    assert all(v > 0 for v in results.values())
+
+
+def test_ablation_adaptive_clustering(bench_once):
+    split = get_split(PRESET)
+
+    def run():
+        return {
+            "adaptive (Algorithm 1, δ=0.5)": _mean(split),
+            "plain k-means (δ=0, no push-up)": _mean(split, taxo_delta=0.0),
+        }
+
+    results = bench_once(run)
+    text = render_table(
+        ["Clustering", "mean metric (%)"],
+        [[k, f"{100 * v:.2f}"] for k, v in results.items()],
+        title=f"Ablation ({PRESET}): adaptive clustering vs plain Poincaré k-means",
+    )
+    save_result("ablation_adaptive", text)
+    assert all(v > 0 for v in results.values())

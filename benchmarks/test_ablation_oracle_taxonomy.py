@@ -1,0 +1,53 @@
+"""Extension ablation: no taxonomy vs constructed vs oracle taxonomy.
+
+The paper's future work proposes *incorporating existing taxonomies when
+available*.  The planted synthetic truth makes the upper bound measurable:
+TaxoRec with the ground-truth taxonomy (via ``fixed_taxonomy``) brackets
+the value of the automated construction from above, while λ=0 brackets it
+from below.
+"""
+
+import numpy as np
+
+from repro.data import load_preset
+from repro.eval import evaluate
+from repro.models import TaxoRec
+from repro.models.defaults import tuned_config
+from repro.taxonomy import Taxonomy
+from repro.utils import render_table
+
+from conftest import BENCH_EPOCHS, BENCH_SCALE, BENCH_SEEDS, get_split, save_result
+
+PRESET = "yelp"  # deepest hierarchy → taxonomy matters most
+
+
+def _mean(split, **kwargs):
+    vals = []
+    for seed in BENCH_SEEDS:
+        config = tuned_config("TaxoRec", PRESET, epochs=BENCH_EPOCHS, seed=seed)
+        model = TaxoRec(split.train, config, **kwargs)
+        model.fit(split)
+        vals.append(evaluate(model, split, on="test").mean())
+    return float(np.mean(vals))
+
+
+def test_oracle_taxonomy_brackets_construction(bench_once):
+    split = get_split(PRESET)
+    dataset = load_preset(PRESET, scale=BENCH_SCALE)
+    oracle = Taxonomy.from_parent_array(dataset.tag_parent)
+
+    def run():
+        return {
+            "no taxonomy (use_taxonomy=False)": _mean(split, use_taxonomy=False),
+            "constructed (Algorithm 1)": _mean(split),
+            "oracle (planted truth)": _mean(split, fixed_taxonomy=oracle),
+        }
+
+    results = bench_once(run)
+    text = render_table(
+        ["Taxonomy source", "mean metric (%)"],
+        [[k, f"{100 * v:.2f}"] for k, v in results.items()],
+        title=f"Extension ablation ({PRESET}): value of taxonomy quality",
+    )
+    save_result("ablation_oracle_taxonomy", text)
+    assert all(v > 0 for v in results.values())

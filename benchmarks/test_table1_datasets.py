@@ -1,0 +1,33 @@
+"""Table I — statistics of the four benchmark datasets.
+
+Regenerates the dataset-statistics table.  Absolute counts are the scaled
+synthetic presets; the *relative* shape (tag vocabulary growing, density
+shrinking from Ciao to Yelp) mirrors the paper's Table I.
+"""
+
+from repro.data import PRESET_NAMES, compute_stats, load_preset
+from repro.utils import render_table
+
+from conftest import BENCH_SCALE, save_result
+
+
+def _build_table() -> str:
+    rows = [
+        compute_stats(load_preset(name, scale=BENCH_SCALE)).as_row()
+        for name in PRESET_NAMES
+    ]
+    return render_table(
+        ["Dataset", "#User", "#Item", "#Interaction", "Density(%)", "#Tag", "Tags/Item", "Depth"],
+        rows,
+        title=f"Table I: dataset statistics (scale={BENCH_SCALE})",
+    )
+
+
+def test_table1_dataset_statistics(bench_once):
+    table = bench_once(_build_table)
+    save_result("table1_datasets", table)
+    # Invariants of the paper's Table I shape.
+    stats = {n: compute_stats(load_preset(n, scale=BENCH_SCALE)) for n in PRESET_NAMES}
+    assert stats["ciao"].n_tags == 28
+    assert stats["ciao"].n_tags < stats["amazon-cd"].n_tags < stats["yelp"].n_tags
+    assert stats["ciao"].density_percent > stats["yelp"].density_percent

@@ -1,0 +1,72 @@
+"""Table III — ablation of TaxoRec's components on all four datasets.
+
+Rows (exactly the paper's):
+  CML                — Euclidean metric learning, no tags
+  CML + Agg          — + tag-enhanced aggregation, Euclidean
+  Hyper + CML        — metric learning in hyperbolic space (= HyperML)
+  Hyper + CML + Agg  — + tag-enhanced aggregation, hyperbolic
+  TaxoRec            — + taxonomy construction & regularisation
+
+Shape targets: Agg helps within each geometry; hyperbolic + Agg ≥
+Euclidean + Agg on most datasets; TaxoRec tops the ablation; taxonomy
+gains grow with tag count (largest on yelp).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import evaluate
+from repro.models import create_model
+from repro.models.defaults import tuned_config
+from repro.utils import render_table
+
+from conftest import BENCH_EPOCHS, BENCH_SCALE, BENCH_SEEDS, get_split, save_result
+
+VARIANTS = ("CML", "CML+Agg", "Hyper+CML", "Hyper+CML+Agg", "TaxoRec")
+METRICS = ("recall_at_10", "recall_at_20", "ndcg_at_10", "ndcg_at_20")
+
+# See test_table2_overall: ordering assertions only run at (near-)full scale.
+_FULL_SCALE = BENCH_SCALE >= 0.75
+DATASETS = ("ciao", "amazon-cd", "amazon-book", "yelp")
+
+
+def _run(preset: str) -> dict[str, list]:
+    split = get_split(preset)
+    out = {}
+    for name in VARIANTS:
+        results = []
+        for seed in BENCH_SEEDS:
+            config = tuned_config(name, preset, epochs=BENCH_EPOCHS, seed=seed)
+            model = create_model(name, split.train, config)
+            model.fit(split)
+            results.append(evaluate(model, split, on="test"))
+        out[name] = results
+    return out
+
+
+@pytest.mark.parametrize("preset", DATASETS)
+def test_table3_ablation(bench_once, preset):
+    table = bench_once(_run, preset)
+    rows = []
+    for name in VARIANTS:
+        vals = [
+            f"{100 * np.mean([getattr(r, m) for r in table[name]]):.2f}" for m in METRICS
+        ]
+        rows.append([name] + vals)
+    text = render_table(
+        ["Variant", "Recall@10", "Recall@20", "NDCG@10", "NDCG@20"],
+        rows,
+        title=f"Table III ({preset}): ablation (%)",
+    )
+    save_result(f"table3_{preset}", text)
+
+    def mean_of(name):
+        return np.mean([r.mean() for r in table[name]])
+
+    # Always: taxonomy regularisation must not break the model it extends.
+    assert mean_of("TaxoRec") >= 0.85 * mean_of("Hyper+CML+Agg")
+    if _FULL_SCALE:
+        # The paper's load-bearing orderings: aggregation helps in
+        # hyperbolic space, and the full model tops the column.
+        assert mean_of("Hyper+CML+Agg") >= 0.9 * mean_of("Hyper+CML")
+        assert mean_of("TaxoRec") >= 0.95 * max(mean_of(v) for v in VARIANTS if v != "TaxoRec")

@@ -1,0 +1,85 @@
+"""Record the full benchmark run used by EXPERIMENTS.md.
+
+Runs Table II and Table III at full preset scale and writes the result
+tables to benchmarks/results/recorded_*.txt.  Heavier than the default
+pytest benches; meant to be run once per release:
+
+    python scripts/record_results.py [--seeds 0 1 2] [--epochs 120]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.data import load_preset, temporal_split
+from repro.eval import evaluate
+from repro.models import ALL_NAMES, create_model
+from repro.models.defaults import tuned_config
+from repro.utils import render_table
+
+RESULTS = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+METRICS = ("recall_at_10", "recall_at_20", "ndcg_at_10", "ndcg_at_20")
+ABLATION = ("CML", "CML+Agg", "Hyper+CML", "Hyper+CML+Agg", "TaxoRec")
+
+
+def run_table(models, preset, seeds, epochs):
+    split = temporal_split(load_preset(preset))
+    rows = []
+    for name in models:
+        results = []
+        for seed in seeds:
+            config = tuned_config(name, preset, epochs=epochs, seed=seed)
+            model = create_model(name, split.train, config)
+            t0 = time.time()
+            model.fit(split)
+            results.append(evaluate(model, split, on="test"))
+            print(f"  {preset}/{name} seed {seed}: mean={results[-1].mean():.4f} "
+                  f"({time.time()-t0:.0f}s)", flush=True)
+        cells = []
+        for metric in METRICS:
+            vals = 100 * np.array([getattr(r, metric) for r in results])
+            cells.append(f"{vals.mean():.2f}±{vals.std():.2f}")
+        rows.append([name] + cells)
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    parser.add_argument("--epochs", type=int, default=120)
+    parser.add_argument("--presets", nargs="+", default=["ciao", "amazon-cd", "amazon-book", "yelp"])
+    parser.add_argument("--table", choices=["2", "3", "both"], default="both")
+    args = parser.parse_args()
+    RESULTS.mkdir(exist_ok=True)
+
+    for preset in args.presets:
+        if args.table in ("2", "both"):
+            rows = run_table(ALL_NAMES, preset, tuple(args.seeds), args.epochs)
+            text = render_table(
+                ["Method", "Recall@10", "Recall@20", "NDCG@10", "NDCG@20"],
+                rows,
+                title=f"Recorded Table II ({preset}), %, seeds={args.seeds}",
+            )
+            (RESULTS / f"recorded_table2_{preset}.txt").write_text(text + "\n")
+            print(text, flush=True)
+        if args.table in ("3", "both"):
+            rows = run_table(ABLATION, preset, tuple(args.seeds), args.epochs)
+            text = render_table(
+                ["Variant", "Recall@10", "Recall@20", "NDCG@10", "NDCG@20"],
+                rows,
+                title=f"Recorded Table III ({preset}), %, seeds={args.seeds}",
+            )
+            (RESULTS / f"recorded_table3_{preset}.txt").write_text(text + "\n")
+            print(text, flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

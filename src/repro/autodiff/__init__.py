@@ -1,0 +1,41 @@
+"""Reverse-mode autodiff engine on NumPy (the repo's PyTorch substitute)."""
+
+from .functional import (
+    binary_cross_entropy_with_logits,
+    dropout,
+    hinge,
+    log_softmax,
+    logsumexp,
+    softmax,
+    softplus,
+)
+from .gradcheck import check_gradients, numerical_grad
+from .ops import concat, dot, maximum, minimum, ones, scatter_mean_rows, stack, where, zeros
+from .parameter import Module, Parameter
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "Module",
+    "no_grad",
+    "is_grad_enabled",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "dot",
+    "zeros",
+    "ones",
+    "scatter_mean_rows",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "hinge",
+    "softplus",
+    "binary_cross_entropy_with_logits",
+    "dropout",
+    "check_gradients",
+    "numerical_grad",
+]

@@ -1,0 +1,70 @@
+"""Numerical gradient checking via central differences.
+
+Used heavily by the test suite to verify every primitive's vector-Jacobian
+product against finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_grad", "check_gradients"]
+
+
+def numerical_grad(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    wrt: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*inputs)`` w.r.t. input ``wrt``."""
+    base = [np.asarray(x, dtype=np.float64).copy() for x in inputs]
+    target = base[wrt]
+    grad = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = target[idx]
+        target[idx] = orig + eps
+        plus = fn(*[Tensor(x) for x in base]).item()
+        target[idx] = orig - eps
+        minus = fn(*[Tensor(x) for x in base]).item()
+        target[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+) -> None:
+    """Assert that analytic gradients of scalar ``fn`` match finite differences.
+
+    Raises
+    ------
+    AssertionError
+        If any input's analytic gradient deviates beyond tolerance.
+    """
+    tensors = [Tensor(np.asarray(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    out = fn(*tensors)
+    if out.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued function")
+    out.backward()
+    for i, t in enumerate(tensors):
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_grad(fn, [x.data for x in tensors], wrt=i, eps=eps)
+        np.testing.assert_allclose(
+            analytic,
+            numeric,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"gradient mismatch for input {i}",
+        )

@@ -1,0 +1,89 @@
+"""Trainable parameters and a minimal module container.
+
+A :class:`Parameter` is a leaf :class:`Tensor` tagged with the manifold it
+lives on.  The Riemannian optimiser (:mod:`repro.optim.rsgd`) dispatches on
+that tag: tag embeddings carry the Poincaré ball, user/item embeddings carry
+the Lorentz hyperboloid, and baseline weights carry the Euclidean manifold
+(paper §IV-E).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A leaf tensor optimised on a (possibly curved) manifold."""
+
+    __slots__ = ("manifold",)
+
+    def __init__(self, data, manifold=None):
+        super().__init__(data, requires_grad=True)
+        self.manifold = manifold
+
+
+class Module:
+    """Collects :class:`Parameter` attributes, recursively through submodules."""
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every unique Parameter, recursing through submodules/lists."""
+        seen: set[int] = set()
+        for value in vars(self).values():
+            if isinstance(value, Parameter) and id(value) not in seen:
+                seen.add(id(value))
+                yield value
+            elif isinstance(value, Module):
+                for p in value.parameters():
+                    if id(p) not in seen:
+                        seen.add(id(p))
+                        yield p
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Parameter) and id(item) not in seen:
+                        seen.add(id(item))
+                        yield item
+                    elif isinstance(item, Module):
+                        for p in item.parameters():
+                            if id(p) not in seen:
+                                seen.add(id(p))
+                                yield p
+
+    def zero_grad(self) -> None:
+        """Zero gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat name → array snapshot (copies) for checkpointing."""
+        state = {}
+        for name, value in vars(self).items():
+            if isinstance(value, Parameter):
+                state[name] = value.data.copy()
+            elif isinstance(value, Module):
+                for sub, arr in value.state_dict().items():
+                    state[f"{name}.{sub}"] = arr
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`state_dict` snapshot (shapes must match)."""
+        for name, arr in state.items():
+            head, _, rest = name.partition(".")
+            target = getattr(self, head)
+            if rest:
+                target.load_state_dict({rest: arr})
+            else:
+                if target.data.shape != arr.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: {target.data.shape} vs {arr.shape}"
+                    )
+                target.data[...] = arr

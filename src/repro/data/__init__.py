@@ -1,0 +1,31 @@
+"""Datasets: container, taxonomy-planted synthetic generator, splits, sampling."""
+
+from .dataset import InteractionDataset
+from .io import IdMaps, load_csv, load_npz, save_npz
+from .sampling import TripletSampler
+from .splits import Split, temporal_split
+from .stats import DatasetStats, compute_stats
+from .synthetic import PRESET_NAMES, PRESETS, SyntheticConfig, generate, load_preset
+from .transforms import deduplicate, k_core, relabel, subsample_users
+
+__all__ = [
+    "InteractionDataset",
+    "IdMaps",
+    "load_csv",
+    "load_npz",
+    "save_npz",
+    "TripletSampler",
+    "Split",
+    "temporal_split",
+    "DatasetStats",
+    "compute_stats",
+    "SyntheticConfig",
+    "generate",
+    "load_preset",
+    "PRESETS",
+    "PRESET_NAMES",
+    "k_core",
+    "deduplicate",
+    "relabel",
+    "subsample_users",
+]

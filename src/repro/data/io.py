@@ -1,0 +1,172 @@
+"""Dataset persistence and interchange.
+
+Two formats:
+
+* **NPZ** — lossless save/load of an :class:`InteractionDataset` (used for
+  caching generated presets and shipping fixtures).
+* **CSV** — load real-world data from two flat files, so the library is
+  usable beyond the synthetic presets:
+
+  * interactions: ``user_id,item_id,timestamp`` (header optional)
+  * item tags:    ``item_id,tag`` one row per (item, tag) pair
+
+  String ids are mapped to contiguous integers; the mapping is returned so
+  predictions can be translated back.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import InteractionDataset
+
+__all__ = ["save_npz", "load_npz", "load_csv", "IdMaps"]
+
+
+def save_npz(dataset: InteractionDataset, path: str | Path) -> None:
+    """Serialise a dataset to a single ``.npz`` file."""
+    arrays = dict(
+        n_users=np.int64(dataset.n_users),
+        n_items=np.int64(dataset.n_items),
+        n_tags=np.int64(dataset.n_tags),
+        user_ids=dataset.user_ids,
+        item_ids=dataset.item_ids,
+        timestamps=dataset.timestamps,
+        item_tags=dataset.item_tags,
+        tag_names=np.array(dataset.tag_names, dtype=object),
+        name=np.array(dataset.name),
+    )
+    if dataset.tag_parent is not None:
+        arrays["tag_parent"] = dataset.tag_parent
+    np.savez_compressed(path, **arrays, allow_pickle=True)
+
+
+def load_npz(path: str | Path) -> InteractionDataset:
+    """Load a dataset written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=True) as data:
+        return InteractionDataset(
+            n_users=int(data["n_users"]),
+            n_items=int(data["n_items"]),
+            n_tags=int(data["n_tags"]),
+            user_ids=data["user_ids"],
+            item_ids=data["item_ids"],
+            timestamps=data["timestamps"],
+            item_tags=data["item_tags"],
+            tag_names=[str(t) for t in data["tag_names"]],
+            tag_parent=data["tag_parent"] if "tag_parent" in data else None,
+            name=str(data["name"]),
+        )
+
+
+@dataclass
+class IdMaps:
+    """String → integer id mappings produced by :func:`load_csv`."""
+
+    users: dict[str, int]
+    items: dict[str, int]
+    tags: dict[str, int]
+
+    def user_of(self, index: int) -> str:
+        """Original user string for a contiguous index."""
+        return self._inverse(self.users)[index]
+
+    def item_of(self, index: int) -> str:
+        """Original item string for a contiguous index."""
+        return self._inverse(self.items)[index]
+
+    @staticmethod
+    def _inverse(mapping: dict[str, int]) -> dict[int, str]:
+        return {v: k for k, v in mapping.items()}
+
+
+def _read_rows(path: str | Path, n_cols: int) -> list[list[str]]:
+    rows = []
+    with open(path, newline="") as handle:
+        for row in csv.reader(handle):
+            if not row or len(row) < n_cols:
+                continue
+            rows.append([cell.strip() for cell in row[:n_cols]])
+    # Drop a header row if the last column of the first row is not numeric
+    # (interactions) — tag files have no numeric column, so callers pass
+    # pre-cleaned rows through _maybe_drop_header instead.
+    return rows
+
+
+def _looks_like_header(row: list[str]) -> bool:
+    lowered = [cell.lower() for cell in row]
+    return any(cell in ("user_id", "user", "item_id", "item", "tag", "timestamp") for cell in lowered)
+
+
+def load_csv(
+    interactions_path: str | Path,
+    item_tags_path: str | Path | None = None,
+    name: str = "csv",
+) -> tuple[InteractionDataset, IdMaps]:
+    """Load a dataset from flat CSV files.
+
+    Parameters
+    ----------
+    interactions_path:
+        CSV with rows ``user,item,timestamp`` (timestamp optional; row
+        order is used when missing).
+    item_tags_path:
+        Optional CSV with rows ``item,tag``.  Items without tags get empty
+        tag rows; tags never seen in interactions' items are kept.
+    name:
+        Dataset name.
+
+    Returns
+    -------
+    (dataset, id_maps)
+    """
+    with open(interactions_path, newline="") as handle:
+        rows = [r for r in csv.reader(handle) if r and len(r) >= 2]
+    if rows and _looks_like_header(rows[0]):
+        rows = rows[1:]
+    if not rows:
+        raise ValueError(f"no interaction rows in {interactions_path}")
+
+    users: dict[str, int] = {}
+    items: dict[str, int] = {}
+    u_idx, v_idx, ts = [], [], []
+    for i, row in enumerate(rows):
+        user, item = row[0].strip(), row[1].strip()
+        u_idx.append(users.setdefault(user, len(users)))
+        v_idx.append(items.setdefault(item, len(items)))
+        if len(row) >= 3 and row[2].strip():
+            ts.append(float(row[2]))
+        else:
+            ts.append(float(i))
+
+    tags: dict[str, int] = {}
+    tag_rows: list[tuple[int, int]] = []
+    if item_tags_path is not None:
+        trows = _read_rows(item_tags_path, 2)
+        if trows and _looks_like_header(trows[0]):
+            trows = trows[1:]
+        for item, tag in trows:
+            if item not in items:
+                continue  # tags for items never interacted with
+            tag_rows.append((items[item], tags.setdefault(tag, len(tags))))
+
+    n_tags = max(len(tags), 1)
+    item_tags = np.zeros((len(items), n_tags))
+    for v, t in tag_rows:
+        item_tags[v, t] = 1.0
+
+    dataset = InteractionDataset(
+        n_users=len(users),
+        n_items=len(items),
+        n_tags=n_tags,
+        user_ids=np.array(u_idx),
+        item_ids=np.array(v_idx),
+        timestamps=np.array(ts),
+        item_tags=item_tags,
+        tag_names=sorted(tags, key=tags.get) if tags else ["tag_0"],
+        name=name,
+    )
+    return dataset, IdMaps(users=users, items=items, tags=tags)

@@ -1,0 +1,71 @@
+"""Temporal per-user train/validation/test splitting (paper §V-A2).
+
+For each user the first 60% of interactions (by timestamp) train, the next
+20% validate, and the last 20% test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import InteractionDataset
+
+__all__ = ["Split", "temporal_split"]
+
+
+@dataclass
+class Split:
+    """Train/validation/test views over one dataset."""
+
+    train: InteractionDataset
+    valid: InteractionDataset
+    test: InteractionDataset
+
+    def __repr__(self) -> str:
+        return (
+            f"Split(train={self.train.n_interactions}, "
+            f"valid={self.valid.n_interactions}, test={self.test.n_interactions})"
+        )
+
+
+def temporal_split(
+    dataset: InteractionDataset,
+    train_frac: float = 0.6,
+    valid_frac: float = 0.2,
+) -> Split:
+    """Split each user's history by time into train/valid/test.
+
+    Guarantees at least one training interaction per user with history; a
+    user with fewer than 3 interactions contributes everything to train.
+    """
+    if not 0.0 < train_frac < 1.0 or not 0.0 <= valid_frac < 1.0:
+        raise ValueError("fractions must lie in (0, 1)")
+    if train_frac + valid_frac >= 1.0:
+        raise ValueError("train_frac + valid_frac must leave room for test")
+
+    order = np.lexsort((dataset.timestamps, dataset.user_ids))
+    users_sorted = dataset.user_ids[order]
+    boundaries = np.searchsorted(users_sorted, np.arange(dataset.n_users + 1))
+
+    assign = np.zeros(dataset.n_interactions, dtype=np.int8)  # 0=train 1=valid 2=test
+    for u in range(dataset.n_users):
+        lo, hi = boundaries[u], boundaries[u + 1]
+        n = hi - lo
+        if n == 0:
+            continue
+        if n < 3:
+            continue  # all train
+        n_train = max(int(np.floor(n * train_frac)), 1)
+        n_valid = max(int(np.floor(n * valid_frac)), 1)
+        if n_train + n_valid >= n:
+            n_valid = max(n - n_train - 1, 0)
+        assign[order[lo + n_train : lo + n_train + n_valid]] = 1
+        assign[order[lo + n_train + n_valid : hi]] = 2
+
+    return Split(
+        train=dataset.subset(assign == 0, name=f"{dataset.name}/train"),
+        valid=dataset.subset(assign == 1, name=f"{dataset.name}/valid"),
+        test=dataset.subset(assign == 2, name=f"{dataset.name}/test"),
+    )

@@ -1,0 +1,90 @@
+"""Standard dataset preprocessing: k-core filtering, deduplication, sampling.
+
+Real-world dumps (loaded via :func:`repro.data.load_csv`) usually need the
+same cleanup the paper's datasets received: iterative k-core filtering so
+every kept user/item has enough interactions, duplicate collapsing, and
+subsampling for quick experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import ensure_rng
+from .dataset import InteractionDataset
+
+__all__ = ["k_core", "deduplicate", "subsample_users", "relabel"]
+
+
+def deduplicate(dataset: InteractionDataset) -> InteractionDataset:
+    """Keep only each user's first interaction with an item."""
+    seen: set[tuple[int, int]] = set()
+    keep = np.zeros(dataset.n_interactions, dtype=bool)
+    order = np.argsort(dataset.timestamps, kind="stable")
+    for idx in order:
+        key = (int(dataset.user_ids[idx]), int(dataset.item_ids[idx]))
+        if key not in seen:
+            seen.add(key)
+            keep[idx] = True
+    return dataset.subset(keep, name=f"{dataset.name}/dedup")
+
+
+def k_core(dataset: InteractionDataset, k: int = 5, max_rounds: int = 50) -> InteractionDataset:
+    """Iteratively drop users/items with fewer than ``k`` interactions.
+
+    Entity ids are re-labelled to a contiguous range afterwards (use
+    :func:`relabel` output's mapping arrays to translate back).
+    """
+    users = dataset.user_ids.copy()
+    items = dataset.item_ids.copy()
+    keep = np.ones(len(users), dtype=bool)
+    for _ in range(max_rounds):
+        user_counts = np.bincount(users[keep], minlength=dataset.n_users)
+        item_counts = np.bincount(items[keep], minlength=dataset.n_items)
+        bad = (user_counts[users] < k) | (item_counts[items] < k)
+        bad &= keep
+        if not bad.any():
+            break
+        keep &= ~bad
+    filtered = dataset.subset(keep, name=f"{dataset.name}/{k}core")
+    return relabel(filtered)[0]
+
+
+def relabel(dataset: InteractionDataset) -> tuple[InteractionDataset, dict[str, np.ndarray]]:
+    """Compact user/item id spaces to the entities that actually appear.
+
+    Returns the compacted dataset and ``{"users": old_ids, "items": old_ids}``
+    arrays mapping new index → original id.
+    """
+    active_users = np.unique(dataset.user_ids)
+    active_items = np.unique(dataset.item_ids)
+    user_map = {int(u): i for i, u in enumerate(active_users)}
+    item_map = {int(v): i for i, v in enumerate(active_items)}
+    new = InteractionDataset(
+        n_users=len(active_users),
+        n_items=len(active_items),
+        n_tags=dataset.n_tags,
+        user_ids=np.array([user_map[int(u)] for u in dataset.user_ids]),
+        item_ids=np.array([item_map[int(v)] for v in dataset.item_ids]),
+        timestamps=dataset.timestamps.copy(),
+        item_tags=dataset.item_tags[active_items],
+        tag_names=dataset.tag_names,
+        tag_parent=dataset.tag_parent,
+        name=dataset.name,
+    )
+    return new, {"users": active_users, "items": active_items}
+
+
+def subsample_users(
+    dataset: InteractionDataset,
+    n_users: int,
+    seed: int | np.random.Generator | None = 0,
+) -> InteractionDataset:
+    """Keep a random subset of users (and compact the id spaces)."""
+    rng = ensure_rng(seed)
+    active = np.unique(dataset.user_ids)
+    if n_users >= len(active):
+        return dataset
+    chosen = set(int(u) for u in rng.choice(active, size=n_users, replace=False))
+    keep = np.array([int(u) in chosen for u in dataset.user_ids])
+    return relabel(dataset.subset(keep, name=f"{dataset.name}/sub{n_users}"))[0]

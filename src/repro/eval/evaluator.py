@@ -1,0 +1,96 @@
+"""Held-out ranking evaluation over a temporal split."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import InteractionDataset, Split
+from .metrics import ndcg_at_k, rank_topk, recall_at_k
+
+__all__ = ["EvalResult", "evaluate", "held_out_positives"]
+
+
+@dataclass
+class EvalResult:
+    """Recall/NDCG at the paper's two cutoffs."""
+
+    recall_at_10: float
+    recall_at_20: float
+    ndcg_at_10: float
+    ndcg_at_20: float
+
+    def get(self, metric: str) -> float:
+        """Look a metric up by paper-style name (e.g. ``\"Recall@10\"``)."""
+        key = metric.lower().replace("@", "_at_")
+        return getattr(self, key)
+
+    def as_row(self, percent: bool = True) -> list[str]:
+        """Render the four metrics as formatted strings."""
+        scale = 100.0 if percent else 1.0
+        return [
+            f"{scale * v:.2f}"
+            for v in (self.recall_at_10, self.recall_at_20, self.ndcg_at_10, self.ndcg_at_20)
+        ]
+
+    def mean(self) -> float:
+        """Mean of the four metrics (the model-selection scalar)."""
+        return (self.recall_at_10 + self.recall_at_20 + self.ndcg_at_10 + self.ndcg_at_20) / 4.0
+
+
+def held_out_positives(dataset: InteractionDataset) -> list[np.ndarray]:
+    """Per-user held-out item arrays for a valid/test subset."""
+    return dataset.items_of_user()
+
+
+def evaluate(
+    model,
+    split: Split,
+    on: str = "test",
+    ks: tuple[int, int] = (10, 20),
+    batch_users: int = 512,
+) -> EvalResult:
+    """Rank the full catalogue for every user with held-out items.
+
+    Items the user interacted with in *earlier* phases are masked:
+    train when evaluating validation; train+validation when evaluating test
+    (the standard temporal-protocol masking).
+
+    Parameters
+    ----------
+    model:
+        Object with ``score_users(users) -> (len(users), n_items)`` where
+        larger scores mean stronger recommendations.
+    split:
+        The temporal split.
+    on:
+        ``"test"`` or ``"valid"``.
+    """
+    if on not in ("test", "valid"):
+        raise ValueError("on must be 'test' or 'valid'")
+    target = split.test if on == "test" else split.valid
+    positives = held_out_positives(target)
+
+    mask_sets = split.train.items_of_user()
+    if on == "test":
+        valid_sets = split.valid.items_of_user()
+        mask_sets = [np.concatenate([a, b]) for a, b in zip(mask_sets, valid_sets)]
+
+    users = np.array([u for u in range(target.n_users) if len(positives[u])], dtype=np.int64)
+    k_max = min(max(ks), split.train.n_items)
+    all_topk = np.zeros((len(users), k_max), dtype=np.int64)
+    for start in range(0, len(users), batch_users):
+        batch = users[start : start + batch_users]
+        scores = np.asarray(model.score_users(batch), dtype=np.float64)
+        for i, u in enumerate(batch):
+            scores[i, mask_sets[u]] = -np.inf
+        all_topk[start : start + len(batch)] = rank_topk(scores, k_max)
+
+    pos = [positives[u] for u in users]
+    return EvalResult(
+        recall_at_10=recall_at_k(all_topk, pos, ks[0]),
+        recall_at_20=recall_at_k(all_topk, pos, ks[1]),
+        ndcg_at_10=ndcg_at_k(all_topk, pos, ks[0]),
+        ndcg_at_20=ndcg_at_k(all_topk, pos, ks[1]),
+    )

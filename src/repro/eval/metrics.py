@@ -1,0 +1,59 @@
+"""Ranking metrics: Recall@K and NDCG@K on full, unsampled rankings.
+
+Following the paper (§V-A2, citing Krichene & Rendle 2020), metrics are
+computed against the *full* item catalogue, never against sampled
+negatives.  Items seen in train/validation are masked out of rankings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_at_k", "ndcg_at_k", "rank_topk"]
+
+
+def rank_topk(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the top-``k`` items per row, sorted by descending score."""
+    if k >= scores.shape[1]:
+        return np.argsort(-scores, axis=1)
+    part = np.argpartition(-scores, k, axis=1)[:, :k]
+    row = np.arange(scores.shape[0])[:, None]
+    order = np.argsort(-scores[row, part], axis=1)
+    return part[row, order]
+
+
+def recall_at_k(topk: np.ndarray, positives: list[np.ndarray], k: int) -> float:
+    """Mean Recall@K over users.
+
+    Parameters
+    ----------
+    topk:
+        ``(n_users, >=k)`` ranked item ids.
+    positives:
+        Per-user arrays of held-out ground-truth item ids; users with no
+        positives are skipped.
+    """
+    scores = []
+    for row, pos in zip(topk, positives):
+        if len(pos) == 0:
+            continue
+        hits = np.isin(row[:k], pos).sum()
+        scores.append(hits / len(pos))
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def ndcg_at_k(topk: np.ndarray, positives: list[np.ndarray], k: int) -> float:
+    """Mean NDCG@K with binary relevance.
+
+    IDCG truncates at ``min(k, |positives|)`` so a perfect ranking scores 1.
+    """
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    scores = []
+    for row, pos in zip(topk, positives):
+        if len(pos) == 0:
+            continue
+        rel = np.isin(row[:k], pos).astype(np.float64)
+        dcg = float((rel * discounts[: len(rel)]).sum())
+        idcg = float(discounts[: min(k, len(pos))].sum())
+        scores.append(dcg / idcg)
+    return float(np.mean(scores)) if scores else 0.0

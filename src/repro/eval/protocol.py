@@ -1,0 +1,103 @@
+"""End-to-end experiment runner: model × dataset × seeds → mean ± std.
+
+This is the machinery behind every benchmark table: it generates a preset,
+splits temporally, trains a registered model with its tuned configuration,
+and reports test metrics aggregated over seeds (the ± entries of Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data import Split, load_preset, temporal_split
+from ..utils import get_logger
+from .evaluator import EvalResult, evaluate
+
+__all__ = ["ExperimentResult", "run_model", "run_experiment"]
+
+_LOG = get_logger("repro.protocol")
+
+_METRICS = ("recall_at_10", "recall_at_20", "ndcg_at_10", "ndcg_at_20")
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated test metrics for one (model, dataset) cell."""
+
+    model: str
+    dataset: str
+    per_seed: list[EvalResult] = field(default_factory=list)
+
+    def mean(self, metric: str) -> float:
+        """Across-seed mean of one metric."""
+        return float(np.mean([getattr(r, metric) for r in self.per_seed]))
+
+    def std(self, metric: str) -> float:
+        """Across-seed standard deviation of one metric."""
+        return float(np.std([getattr(r, metric) for r in self.per_seed]))
+
+    def values(self, metric: str) -> np.ndarray:
+        """Per-seed values of one metric."""
+        return np.array([getattr(r, metric) for r in self.per_seed])
+
+    def overall_mean(self) -> float:
+        """Mean of the four metrics, averaged over seeds."""
+        return float(np.mean([r.mean() for r in self.per_seed]))
+
+    def cell(self, metric: str, percent: bool = True) -> str:
+        """Format one Table-II cell as ``mean±std`` (in percent)."""
+        scale = 100.0 if percent else 1.0
+        if len(self.per_seed) > 1:
+            return f"{scale * self.mean(metric):.2f}±{scale * self.std(metric):.2f}"
+        return f"{scale * self.mean(metric):.2f}"
+
+    def as_row(self) -> list[str]:
+        """Render as one Table-II row."""
+        return [self.model] + [self.cell(m) for m in _METRICS]
+
+
+def run_model(model_name: str, split: Split, config) -> EvalResult:
+    """Train one model on a prepared split and evaluate on test."""
+    from ..models import create_model
+
+    model = create_model(model_name, split.train, config)
+    model.fit(split)
+    return evaluate(model, split, on="test")
+
+
+def run_experiment(
+    model_name: str,
+    dataset_name: str,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    scale: float = 1.0,
+    epochs: int | None = None,
+    **config_overrides,
+) -> ExperimentResult:
+    """Run one Table-II cell: a model on a preset over several seeds.
+
+    The dataset itself is held fixed across seeds (the paper's datasets are
+    fixed); seeds vary initialisation and sampling, which is what the ±
+    deviations in Table II measure.
+    """
+    from ..models.defaults import tuned_config
+
+    dataset = load_preset(dataset_name, scale=scale)
+    split = temporal_split(dataset)
+    result = ExperimentResult(model=model_name, dataset=dataset_name)
+    for seed in seeds:
+        config = tuned_config(
+            model_name, dataset_name, epochs=epochs, seed=seed, **config_overrides
+        )
+        res = run_model(model_name, split, config)
+        result.per_seed.append(res)
+        _LOG.info(
+            "%s/%s seed %d: R@10=%.4f N@10=%.4f",
+            model_name,
+            dataset_name,
+            seed,
+            res.recall_at_10,
+            res.ndcg_at_10,
+        )
+    return result

@@ -1,0 +1,36 @@
+"""Hyperbolic geometry substrate: Poincaré, Lorentz, Klein models and maps."""
+
+from .base import Manifold
+from .euclidean import Euclidean
+from .klein import einstein_midpoint, einstein_midpoint_batch, einstein_midpoint_np, lorentz_factor
+from .lorentz import Lorentz
+from .maps import (
+    klein_to_poincare,
+    klein_to_poincare_np,
+    lorentz_to_poincare,
+    lorentz_to_poincare_np,
+    poincare_to_klein,
+    poincare_to_klein_np,
+    poincare_to_lorentz,
+    poincare_to_lorentz_np,
+)
+from .poincare import PoincareBall
+
+__all__ = [
+    "Manifold",
+    "Euclidean",
+    "PoincareBall",
+    "Lorentz",
+    "lorentz_factor",
+    "einstein_midpoint",
+    "einstein_midpoint_batch",
+    "einstein_midpoint_np",
+    "lorentz_to_poincare",
+    "poincare_to_lorentz",
+    "poincare_to_klein",
+    "klein_to_poincare",
+    "lorentz_to_poincare_np",
+    "poincare_to_lorentz_np",
+    "poincare_to_klein_np",
+    "klein_to_poincare_np",
+]

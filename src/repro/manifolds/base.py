@@ -1,0 +1,60 @@
+"""Manifold interface shared by the Euclidean, Poincaré and Lorentz models.
+
+Each manifold exposes two families of operations:
+
+* **NumPy-level** methods (suffix ``_np`` or operating on raw arrays) used by
+  the Riemannian optimiser and the clustering code, where no gradient flows
+  *through* the operation itself.
+* **Differentiable** methods operating on :class:`repro.autodiff.Tensor`,
+  used inside loss functions (distances, exponential/logarithmic maps).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+__all__ = ["Manifold"]
+
+
+class Manifold(abc.ABC):
+    """Abstract Riemannian manifold used for embedding optimisation."""
+
+    name: str = "abstract"
+
+    # -- constraints ----------------------------------------------------
+    @abc.abstractmethod
+    def proj(self, x: np.ndarray) -> np.ndarray:
+        """Project points back onto the manifold (returns a new array)."""
+
+    @abc.abstractmethod
+    def random(self, shape: tuple[int, ...], rng: np.random.Generator, scale: float = 1e-2) -> np.ndarray:
+        """Sample initial points near the origin of the manifold."""
+
+    # -- optimisation ---------------------------------------------------
+    @abc.abstractmethod
+    def egrad2rgrad(self, x: np.ndarray, egrad: np.ndarray) -> np.ndarray:
+        """Convert a Euclidean gradient at ``x`` into a Riemannian gradient."""
+
+    @abc.abstractmethod
+    def expmap_np(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Exponential map: move from ``x`` along tangent vector ``v``."""
+
+    def retract(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """First-order retraction; defaults to expmap followed by projection."""
+        return self.proj(self.expmap_np(x, v))
+
+    # -- geometry -------------------------------------------------------
+    @abc.abstractmethod
+    def dist(self, x: Tensor, y: Tensor) -> Tensor:
+        """Differentiable geodesic distance along the last axis."""
+
+    def dist_np(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Geodesic distance on raw arrays (no graph is recorded)."""
+        return self.dist(Tensor(x), Tensor(y)).data
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,75 @@
+"""Klein model utilities: Einstein-midpoint aggregation (Eqs. 1 and 10).
+
+The Klein model is used purely as a computational device: weighted means of
+hyperbolic points have the closed-form Einstein midpoint in Klein
+coordinates, so TaxoRec's local aggregation maps Poincaré tag embeddings to
+Klein, averages there, and maps back (paper §IV-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+__all__ = ["lorentz_factor", "einstein_midpoint", "einstein_midpoint_np"]
+
+_EPS = 1e-7
+
+
+def lorentz_factor(x: Tensor) -> Tensor:
+    """γ(x) = 1 / sqrt(1 - ||x||^2) for Klein-model points (Eq. 1)."""
+    sq = (x * x).sum(axis=-1, keepdims=True)
+    return 1.0 / (1.0 - sq).clamp(min_value=_EPS).sqrt()
+
+
+def einstein_midpoint(points: Tensor, weights: Tensor) -> Tensor:
+    """Weighted Einstein midpoint of Klein-model points (Eq. 10).
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` Klein coordinates.
+    weights:
+        ``(n,)`` non-negative weights ψ (e.g. an item's row of the item-tag
+        matrix).  Rows with zero weight do not contribute.
+
+    Returns
+    -------
+    Tensor
+        ``(d,)`` Klein coordinates of the midpoint.
+    """
+    gamma = lorentz_factor(points)[..., 0]
+    w = gamma * weights
+    denom = w.sum().clamp(min_value=_EPS)
+    return (points * w.reshape(-1, 1)).sum(axis=0) / denom
+
+
+def einstein_midpoint_batch(points: Tensor, weights: Tensor) -> Tensor:
+    """Batched Einstein midpoint.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` Klein coordinates shared across the batch (the tag table).
+    weights:
+        ``(b, n)`` per-row weights (e.g. the item-tag matrix ψ).
+
+    Returns
+    -------
+    Tensor
+        ``(b, d)`` midpoints, one per weight row.
+    """
+    gamma = lorentz_factor(points)[..., 0]  # (n,)
+    w = weights * gamma.reshape(1, -1)  # (b, n)
+    denom = w.sum(axis=-1, keepdims=True).clamp(min_value=_EPS)
+    return (w @ points) / denom
+
+
+def einstein_midpoint_np(points: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """NumPy Einstein midpoint for ``(n, d)`` points and ``(n,)`` weights."""
+    sq = np.sum(points * points, axis=-1)
+    gamma = 1.0 / np.sqrt(np.maximum(1.0 - sq, _EPS))
+    w = gamma * weights
+    denom = max(w.sum(), _EPS)
+    return (points * w[:, None]).sum(axis=0) / denom

@@ -1,0 +1,154 @@
+"""Lorentz (hyperboloid) model of hyperbolic space (curvature -1).
+
+Points are (d+1)-vectors with <x, x>_L = -1 and x_0 > 0, where
+<x, y>_L = -x_0 y_0 + sum_i x_i y_i.  The paper optimises user/item
+embeddings here because the closed-form geodesics avoid the numerical
+instabilities of the Poincaré distance near the boundary (§III-B, §IV-E).
+
+Note the paper's §III-B states the constraint as <x, x>_L = 1; the standard
+hyperboloid (and the formulae the paper actually uses, e.g. d_H =
+arcosh(-<x,y>_L)) require <x, x>_L = -1, which is what we implement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat
+from .base import Manifold
+
+__all__ = ["Lorentz"]
+
+_MIN_NORM = 1e-15
+_MAX_TANH_ARG = 15.0
+
+
+class Lorentz(Manifold):
+    """The upper sheet of the hyperboloid H^d in R^{d+1}."""
+
+    name = "lorentz"
+
+    # ------------------------------------------------------------------
+    # Lorentzian algebra (NumPy)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def inner_np(x: np.ndarray, y: np.ndarray, keepdims: bool = False) -> np.ndarray:
+        """Lorentzian scalar product <x, y>_L along the last axis."""
+        prod = x * y
+        time = -prod[..., :1]
+        space = prod[..., 1:].sum(axis=-1, keepdims=True)
+        out = time + space
+        return out if keepdims else out[..., 0]
+
+    def proj(self, x: np.ndarray) -> np.ndarray:
+        """Re-normalise the time coordinate: x_0 = sqrt(1 + ||x_{1:}||^2)."""
+        x = np.asarray(x, dtype=np.float64).copy()
+        spatial = x[..., 1:]
+        x[..., 0] = np.sqrt(1.0 + np.sum(spatial * spatial, axis=-1))
+        return x
+
+    def proj_tangent(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Project ``v`` onto the tangent space at ``x``: v + <x, v>_L x."""
+        return v + self.inner_np(x, v, keepdims=True) * x
+
+    def random(self, shape, rng: np.random.Generator, scale: float = 1e-2) -> np.ndarray:
+        """Sample near the origin o = (1, 0, ..., 0); ``shape`` includes d+1."""
+        x = rng.normal(0.0, scale, size=shape)
+        x[..., 0] = 0.0
+        return self.proj(x)
+
+    @staticmethod
+    def origin(dim: int) -> np.ndarray:
+        """The hyperboloid origin o = (1, 0, ..., 0) in R^{dim+1}."""
+        o = np.zeros(dim + 1, dtype=np.float64)
+        o[0] = 1.0
+        return o
+
+    # ------------------------------------------------------------------
+    # Optimisation
+    # ------------------------------------------------------------------
+    def egrad2rgrad(self, x: np.ndarray, egrad: np.ndarray) -> np.ndarray:
+        """Flip the time component by the metric, then project to the tangent.
+
+        grad = proj_x(g^{-1} ∇) with g = diag(-1, 1, ..., 1) (Eq. 20 in the
+        Lorentz setting, cf. Nickel & Kiela 2018).
+        """
+        h = egrad.copy()
+        h[..., 0] = -h[..., 0]
+        return self.proj_tangent(x, h)
+
+    def expmap_np(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """exp_x(v) = cosh(||v||_L) x + sinh(||v||_L) v / ||v||_L (Eq. 23)."""
+        sq = self.inner_np(v, v, keepdims=True)
+        norm = np.sqrt(np.maximum(sq, _MIN_NORM))
+        norm = np.minimum(norm, _MAX_TANH_ARG)  # avoid cosh overflow on huge steps
+        out = np.cosh(norm) * x + np.sinh(norm) * v / np.maximum(norm, _MIN_NORM)
+        return self.proj(out)
+
+    # ------------------------------------------------------------------
+    # Geometry (differentiable)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def inner(x: Tensor, y: Tensor, keepdims: bool = False) -> Tensor:
+        prod = x * y
+        time = prod[..., :1]
+        space = prod[..., 1:]
+        out = space.sum(axis=-1, keepdims=True) - time
+        if keepdims:
+            return out
+        return out.sum(axis=-1)
+
+    def dist(self, x: Tensor, y: Tensor) -> Tensor:
+        """d_H(x, y) = arcosh(-<x, y>_L) (paper §III-B)."""
+        return (-self.inner(x, y)).arcosh()
+
+    def sq_dist(self, x: Tensor, y: Tensor) -> Tensor:
+        """Squared geodesic distance, used in the similarity g(u, v) (Eq. 17)."""
+        d = self.dist(x, y)
+        return d * d
+
+    def dist_np(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Geodesic distance on raw arrays."""
+        return np.arccosh(np.maximum(-self.inner_np(x, y), 1.0))
+
+    # ------------------------------------------------------------------
+    # Origin log/exp maps (Eqs. 12 and 15)
+    # ------------------------------------------------------------------
+    def logmap0(self, x: Tensor) -> Tensor:
+        """log_o(x) as a *spatial* d-vector (the time component is zero).
+
+        At the origin o = (1, 0, ..., 0), Eq. 12 reduces to
+        z = arcosh(x_0) * x_{1:} / ||x_{1:}||.
+        """
+        x0 = x[..., :1]
+        spatial = x[..., 1:]
+        sp_norm = spatial.norm(axis=-1, keepdims=True, eps=_MIN_NORM)
+        scale = x0.clamp(min_value=1.0).arcosh() / sp_norm
+        return spatial * scale
+
+    def expmap0(self, z: Tensor) -> Tensor:
+        """exp_o(z) for a spatial tangent vector z (Eq. 15).
+
+        Returns the full (d+1)-dimensional hyperboloid point
+        (cosh ||z||, sinh ||z|| z / ||z||).
+        """
+        norm = z.norm(axis=-1, keepdims=True, eps=_MIN_NORM)
+        clipped = norm.clamp(max_value=_MAX_TANH_ARG)
+        time = clipped.cosh()
+        spatial = clipped.sinh() * z / norm
+        return concat([time, spatial], axis=-1)
+
+    def logmap0_np(self, x: np.ndarray) -> np.ndarray:
+        """NumPy twin of :meth:`logmap0`."""
+        x0 = np.maximum(x[..., :1], 1.0)
+        spatial = x[..., 1:]
+        sp_norm = np.maximum(np.linalg.norm(spatial, axis=-1, keepdims=True), _MIN_NORM)
+        return np.arccosh(x0) * spatial / sp_norm
+
+    def expmap0_np(self, z: np.ndarray) -> np.ndarray:
+        """NumPy twin of :meth:`expmap0`."""
+        norm = np.maximum(np.linalg.norm(z, axis=-1, keepdims=True), _MIN_NORM)
+        clipped = np.minimum(norm, _MAX_TANH_ARG)
+        time = np.cosh(clipped)
+        spatial = np.sinh(clipped) * z / norm
+        return np.concatenate([time, spatial], axis=-1)

@@ -1,0 +1,114 @@
+"""Poincaré ball model of hyperbolic space (curvature -1).
+
+Implements the distance of paper §III-B, Möbius addition and the Möbius
+exponential map of Eqs. 21–22, and the Riemannian gradient rescaling used by
+RSGD on the ball (Nickel & Kiela 2017).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from .base import Manifold
+
+__all__ = ["PoincareBall"]
+
+# Keep points strictly inside the unit ball; the distance blows up at the
+# boundary and float64 loses all precision there.
+_BOUNDARY_EPS = 1e-5
+_MIN_NORM = 1e-15
+
+
+class PoincareBall(Manifold):
+    """The open unit ball with metric g_x = (2 / (1 - ||x||^2))^2 I."""
+
+    name = "poincare"
+
+    # ------------------------------------------------------------------
+    # Constraints and sampling
+    # ------------------------------------------------------------------
+    def proj(self, x: np.ndarray) -> np.ndarray:
+        """Pull points outside radius 1-ε back onto that shell."""
+        x = np.asarray(x, dtype=np.float64)
+        norm = np.linalg.norm(x, axis=-1, keepdims=True)
+        max_norm = 1.0 - _BOUNDARY_EPS
+        scale = np.where(norm > max_norm, max_norm / np.maximum(norm, _MIN_NORM), 1.0)
+        return x * scale
+
+    def random(self, shape, rng: np.random.Generator, scale: float = 1e-2) -> np.ndarray:
+        """Sample points with *typical radius* ``scale`` (not per-coordinate
+        std — in high dimension that would land everything on the boundary,
+        where distances saturate and gradients explode)."""
+        d = shape[-1]
+        return self.proj(rng.normal(0.0, scale / np.sqrt(d), size=shape))
+
+    # ------------------------------------------------------------------
+    # Optimisation
+    # ------------------------------------------------------------------
+    def egrad2rgrad(self, x: np.ndarray, egrad: np.ndarray) -> np.ndarray:
+        """Rescale by the inverse metric ((1 - ||x||^2) / 2)^2 (Eq. 20 context)."""
+        sq_norm = np.sum(x * x, axis=-1, keepdims=True)
+        factor = ((1.0 - sq_norm) / 2.0) ** 2
+        return factor * egrad
+
+    def mobius_add_np(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Möbius addition x ⊕ y (Eq. 22) on raw arrays."""
+        xy = np.sum(x * y, axis=-1, keepdims=True)
+        x2 = np.sum(x * x, axis=-1, keepdims=True)
+        y2 = np.sum(y * y, axis=-1, keepdims=True)
+        num = (1.0 + 2.0 * xy + y2) * x + (1.0 - x2) * y
+        den = 1.0 + 2.0 * xy + x2 * y2
+        return num / np.maximum(den, _MIN_NORM)
+
+    def expmap_np(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Möbius exponential map exp_x(v) = x ⊕ (tanh(||v||/2) v/||v||) (Eq. 21).
+
+        The paper applies this form to the Riemannian gradient, which already
+        carries the conformal factor from :meth:`egrad2rgrad`.
+        """
+        norm = np.linalg.norm(v, axis=-1, keepdims=True)
+        norm = np.maximum(norm, _MIN_NORM)
+        y = np.tanh(norm / 2.0) * v / norm
+        return self.proj(self.mobius_add_np(x, y))
+
+    # ------------------------------------------------------------------
+    # Geometry (differentiable)
+    # ------------------------------------------------------------------
+    def dist(self, x: Tensor, y: Tensor) -> Tensor:
+        """Poincaré distance d_P(x, y) (paper §III-B), along the last axis."""
+        diff_sq = ((x - y) ** 2).sum(axis=-1)
+        x_sq = (x * x).sum(axis=-1)
+        y_sq = (y * y).sum(axis=-1)
+        denom_x = (1.0 - x_sq).clamp(min_value=_BOUNDARY_EPS)
+        denom_y = (1.0 - y_sq).clamp(min_value=_BOUNDARY_EPS)
+        arg = 1.0 + 2.0 * diff_sq / (denom_x * denom_y)
+        return arg.arcosh()
+
+    def dist_np(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Poincaré distance on raw arrays."""
+        diff_sq = np.sum((x - y) ** 2, axis=-1)
+        x_sq = np.sum(x * x, axis=-1)
+        y_sq = np.sum(y * y, axis=-1)
+        denom = np.maximum(1.0 - x_sq, _BOUNDARY_EPS) * np.maximum(1.0 - y_sq, _BOUNDARY_EPS)
+        arg = 1.0 + 2.0 * diff_sq / denom
+        return np.arccosh(np.maximum(arg, 1.0))
+
+    def dist_matrix_np(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Pairwise distances between ``(n, d)`` and ``(m, d)`` point sets."""
+        return self.dist_np(x[:, None, :], y[None, :, :])
+
+    # ------------------------------------------------------------------
+    # Origin maps (handy for initialisation and tests)
+    # ------------------------------------------------------------------
+    def expmap0_np(self, v: np.ndarray) -> np.ndarray:
+        """exp_0(v) = tanh(||v||) v / ||v|| — maps tangent at origin into the ball."""
+        norm = np.linalg.norm(v, axis=-1, keepdims=True)
+        norm = np.maximum(norm, _MIN_NORM)
+        return self.proj(np.tanh(norm) * v / norm)
+
+    def logmap0_np(self, x: np.ndarray) -> np.ndarray:
+        """log_0(x) = artanh(||x||) x / ||x|| — inverse of :meth:`expmap0_np`."""
+        norm = np.linalg.norm(x, axis=-1, keepdims=True)
+        norm = np.clip(norm, _MIN_NORM, 1.0 - _BOUNDARY_EPS)
+        return np.arctanh(norm) * x / norm

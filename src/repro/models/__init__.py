@@ -1,0 +1,49 @@
+"""Recommendation models: TaxoRec plus the paper's 14 baselines."""
+
+from .agcn import AGCN
+from .amf import AMF
+from .base import Recommender, TrainConfig
+from .cml import CML, CMLF
+from .graph import BipartiteGraph
+from .hgcf import HGCF
+from .hyperml import HyperML
+from .lightgcn import LightGCN
+from .lrml import LRML
+from .mf import BPRMF, NMF
+from .neumf import NeuMF
+from .ngcf import NGCF
+from .registry import ALL_NAMES, BASELINE_NAMES, MODEL_REGISTRY, create_model
+from .sml import SML
+from .taxorec import TaxoRec, personalized_tag_weights
+from .transcf import TransCF
+from .itemknn import ItemKNN
+from .trivial import Popularity, Random
+
+__all__ = [
+    "Recommender",
+    "TrainConfig",
+    "BipartiteGraph",
+    "BPRMF",
+    "NMF",
+    "NeuMF",
+    "CML",
+    "CMLF",
+    "TransCF",
+    "LRML",
+    "SML",
+    "HyperML",
+    "NGCF",
+    "LightGCN",
+    "HGCF",
+    "AMF",
+    "AGCN",
+    "TaxoRec",
+    "personalized_tag_weights",
+    "Popularity",
+    "ItemKNN",
+    "Random",
+    "MODEL_REGISTRY",
+    "BASELINE_NAMES",
+    "ALL_NAMES",
+    "create_model",
+]

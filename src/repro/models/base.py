@@ -1,0 +1,152 @@
+"""Shared recommender API and training loop.
+
+Every model (TaxoRec and all 14 baselines) implements three hooks —
+:meth:`Recommender.loss_batch`, :meth:`Recommender.score_users` and
+optionally :meth:`Recommender.begin_epoch` — and inherits a common
+triplet-sampled training loop with validation-based early stopping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autodiff import Module, Tensor, no_grad
+from ..data import InteractionDataset, Split, TripletSampler
+from ..utils import ensure_rng, get_logger
+
+__all__ = ["TrainConfig", "Recommender"]
+
+_LOG = get_logger("repro.models")
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters shared by all models.
+
+    Mirrors the paper's setup (§V-A4): total embedding dimension D = 64;
+    tag-based models reserve ``tag_dim`` = 12 of it for the tag-relevant
+    part; margins, layers, K, δ and λ follow the paper's grids.
+    """
+
+    dim: int = 64
+    tag_dim: int = 12
+    lr: float = 1e-3
+    epochs: int = 60
+    batch_size: int = 8192
+    n_negatives: int = 1
+    margin: float = 0.2
+    n_layers: int = 3
+    weight_decay: float = 0.0
+    # TaxoRec-specific (harmless elsewhere).
+    taxo_k: int = 3
+    taxo_delta: float = 0.5
+    taxo_lambda: float = 0.1
+    taxo_rebuild_every: int = 10
+    taxo_max_depth: int = 4
+    taxo_beta: float | None = None  # tag-channel balance; None → D_i / D_t
+    # Bookkeeping.
+    seed: int = 0
+    eval_every: int = 0  # 0 disables validation-based early stopping
+    patience: int = 3
+    verbose: bool = False
+    extras: dict = field(default_factory=dict)
+
+
+class Recommender(Module):
+    """Base class: construct with the *training* interactions and a config."""
+
+    name = "base"
+
+    def __init__(self, train: InteractionDataset, config: TrainConfig | None = None):
+        self.train_data = train
+        self.config = config or TrainConfig()
+        self.rng = ensure_rng(self.config.seed)
+        self.history: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def loss_batch(self, users: np.ndarray, pos: np.ndarray, neg: np.ndarray) -> Tensor:
+        """Scalar training loss for one triplet batch; ``neg`` is (b, n_neg)."""
+        raise NotImplementedError
+
+    def score_users(self, users: np.ndarray) -> np.ndarray:
+        """``(len(users), n_items)`` scores, larger = better recommendation."""
+        raise NotImplementedError
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Hook before each epoch (TaxoRec rebuilds its taxonomy here)."""
+
+    def end_epoch(self, epoch: int) -> None:
+        """Hook after each epoch (CML-family models re-project embeddings)."""
+
+    def make_optimizer(self):
+        """Default optimiser; hyperbolic models override with RSGD."""
+        from ..optim import Adam
+
+        return Adam(list(self.parameters()), lr=self.config.lr, weight_decay=self.config.weight_decay)
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def fit(self, split: Split | None = None) -> "Recommender":
+        """Train on the construction-time dataset.
+
+        Parameters
+        ----------
+        split:
+            Optional; required only when ``config.eval_every > 0`` for
+            validation-based early stopping (best validation snapshot is
+            restored at the end).
+        """
+        config = self.config
+        sampler = TripletSampler(
+            self.train_data, n_negatives=config.n_negatives, seed=self.rng
+        )
+        optimizer = self.make_optimizer()
+        best_score = -np.inf
+        best_state: dict | None = None
+        bad_rounds = 0
+
+        for epoch in range(config.epochs):
+            self.begin_epoch(epoch)
+            epoch_loss = 0.0
+            n_batches = 0
+            for users, pos, neg in sampler.epoch(config.batch_size):
+                optimizer.zero_grad()
+                loss = self.loss_batch(users, pos, neg)
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+            self.end_epoch(epoch)
+            record = {"epoch": epoch, "loss": epoch_loss / max(n_batches, 1)}
+
+            if config.eval_every and split is not None and (epoch + 1) % config.eval_every == 0:
+                from ..eval import evaluate
+
+                with no_grad():
+                    result = evaluate(self, split, on="valid")
+                record["valid"] = result.mean()
+                if result.mean() > best_score:
+                    best_score = result.mean()
+                    best_state = self.state_dict()
+                    bad_rounds = 0
+                else:
+                    bad_rounds += 1
+                if config.verbose:
+                    _LOG.info(
+                        "%s epoch %d loss %.4f valid %.4f", self.name, epoch, record["loss"], result.mean()
+                    )
+                if bad_rounds > config.patience:
+                    self.history.append(record)
+                    break
+            elif config.verbose:
+                _LOG.info("%s epoch %d loss %.4f", self.name, epoch, record["loss"])
+            self.history.append(record)
+
+        if best_state is not None:
+            self.load_state_dict(best_state)
+        return self

@@ -1,0 +1,89 @@
+"""Tuned per-model hyperparameters for the benchmark harness.
+
+The paper grid-searches every method per dataset (§V-A4).  We did the same
+against the synthetic presets, selecting on the validation split; the
+winning settings are recorded here so the benchmark harness reproduces the
+tables without re-running the search.  Scales differ from the paper's grids
+because the substrate differs (see EXPERIMENTS.md): hyperbolic models on
+the scaled-down presets prefer fewer GCN layers (denser graphs oversmooth
+sooner) and larger margins/learning rates (RSGD on float64 NumPy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .base import TrainConfig
+
+__all__ = ["tuned_config", "FAMILY_DEFAULTS"]
+
+# Base loop settings shared by every model.
+_BASE = TrainConfig(
+    dim=64,
+    tag_dim=12,
+    epochs=120,
+    batch_size=1024,
+    n_negatives=1,
+    eval_every=10,
+    patience=4,
+)
+
+# Per-model overrides chosen by validation-split grid search.
+FAMILY_DEFAULTS: dict[str, dict] = {
+    "BPRMF": dict(lr=1e-3),
+    "NMF": dict(lr=1e-3, epochs=60),
+    "NeuMF": dict(lr=1e-3),
+    "CML": dict(lr=1e-3, margin=0.5),
+    "CMLF": dict(lr=1e-3, margin=0.5),
+    "TransCF": dict(lr=1e-3, margin=0.5),
+    "LRML": dict(lr=1e-3, margin=0.5),
+    "SML": dict(lr=1e-3, margin=0.5),
+    "HyperML": dict(lr=2.0, margin=1.0),
+    "NGCF": dict(lr=5e-3, n_layers=2),
+    "LightGCN": dict(lr=5e-3, n_layers=3),
+    "HGCF": dict(lr=1.0, margin=2.0, n_layers=1),
+    "AMF": dict(lr=1e-3),
+    "AGCN": dict(lr=5e-3, n_layers=3),
+    "TaxoRec": dict(lr=1.0, margin=2.0, n_layers=2, taxo_lambda=0.1, taxo_k=3, taxo_delta=0.5),
+    # Table III ablation aliases share their family's settings.
+    "CML+Agg": dict(lr=1e-3, margin=0.5, n_layers=2),
+    "Hyper+CML": dict(lr=2.0, margin=1.0),
+    "Hyper+CML+Agg": dict(lr=1.0, margin=2.0, n_layers=2),
+}
+
+# Per-dataset deviations discovered during the search (dataset → model → overrides).
+DATASET_OVERRIDES: dict[str, dict[str, dict]] = {
+    "ciao": {"TaxoRec": dict(taxo_lambda=0.05)},
+}
+
+
+def tuned_config(
+    model_name: str,
+    dataset_name: str | None = None,
+    epochs: int | None = None,
+    seed: int = 0,
+    **extra,
+) -> TrainConfig:
+    """The tuned :class:`TrainConfig` for a model (optionally per dataset).
+
+    Parameters
+    ----------
+    model_name:
+        Registry name (e.g. ``"TaxoRec"``).
+    dataset_name:
+        Preset name for dataset-specific overrides, if any.
+    epochs:
+        Optional cap on training epochs (benchmark fast mode).
+    seed:
+        Training seed.
+    extra:
+        Final overrides applied on top (hyperparameter-study sweeps).
+    """
+    overrides = dict(FAMILY_DEFAULTS.get(model_name, {}))
+    if dataset_name is not None:
+        overrides.update(DATASET_OVERRIDES.get(dataset_name, {}).get(model_name, {}))
+    overrides.update(extra)
+    config = replace(_BASE, seed=seed, **overrides)
+    if epochs is not None:
+        config.epochs = epochs
+    return config

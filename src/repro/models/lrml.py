@@ -1,0 +1,84 @@
+"""LRML (Tay et al. 2018): latent relational metric learning.
+
+A memory module induces a per-pair relation vector: the key ``u ⊙ v``
+attends over M memory slots, and the attended slot mixture translates the
+user toward the item: score ``-||u + r - v||^2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Parameter, Tensor, hinge, no_grad, softmax
+from ..data import InteractionDataset
+from .base import Recommender, TrainConfig
+from .cml import _clip_to_ball
+
+__all__ = ["LRML"]
+
+
+class LRML(Recommender):
+    """Memory-attended relation vectors over a Euclidean metric space."""
+
+    name = "LRML"
+
+    def __init__(
+        self,
+        train: InteractionDataset,
+        config: TrainConfig | None = None,
+        n_memories: int = 20,
+    ):
+        super().__init__(train, config)
+        d = self.config.dim
+        scale = 0.1 / np.sqrt(d)
+        self.user_emb = Parameter(self.rng.normal(0.0, scale, size=(train.n_users, d)))
+        self.item_emb = Parameter(self.rng.normal(0.0, scale, size=(train.n_items, d)))
+        self.keys = Parameter(self.rng.normal(0.0, scale, size=(n_memories, d)))
+        self.memories = Parameter(self.rng.normal(0.0, scale, size=(n_memories, d)))
+
+    def _relation(self, u: Tensor, v: Tensor) -> Tensor:
+        joint = u * v  # (b, d)
+        attention = softmax(joint @ self.keys.T, axis=-1)  # (b, M)
+        return attention @ self.memories  # (b, d)
+
+    def _sq_dist(self, u: Tensor, v: Tensor) -> Tensor:
+        r = self._relation(u, v)
+        return ((u + r - v) ** 2).sum(axis=-1)
+
+    def loss_batch(self, users, pos, neg) -> Tensor:
+        """Hinge over memory-relation translated distances."""
+        u = self.user_emb.take_rows(users)
+        vp = self.item_emb.take_rows(pos)
+        d_pos = self._sq_dist(u, vp)
+        loss: Tensor | None = None
+        for j in range(neg.shape[1]):
+            vq = self.item_emb.take_rows(neg[:, j])
+            term = hinge(self.config.margin + d_pos - self._sq_dist(u, vq)).mean()
+            loss = term if loss is None else loss + term
+        return loss / neg.shape[1]
+
+    def end_epoch(self, epoch: int) -> None:
+        _clip_to_ball(self.user_emb.data)
+        _clip_to_ball(self.item_emb.data)
+
+    def score_users(self, users) -> np.ndarray:
+        """``(len(users), n_items)`` scores against the full catalogue; higher is better."""
+        with no_grad():
+            n_items = self.train_data.n_items
+            v = self.item_emb.data  # (n, d)
+            keys = self.keys.data
+            memories = self.memories.data
+            out = np.zeros((len(users), n_items))
+            # Chunk users: the attention needs per-pair joint keys (u ⊙ v).
+            for start in range(0, len(users), 64):
+                batch = users[start : start + 64]
+                u = self.user_emb.data[batch]  # (b, d)
+                joint = u[:, None, :] * v[None, :, :]  # (b, n, d)
+                logits = joint @ keys.T  # (b, n, M)
+                logits -= logits.max(axis=-1, keepdims=True)
+                att = np.exp(logits)
+                att /= att.sum(axis=-1, keepdims=True)
+                r = att @ memories  # (b, n, d)
+                diff = u[:, None, :] + r - v[None, :, :]
+                out[start : start + len(batch)] = -(diff * diff).sum(axis=-1)
+            return out

@@ -1,0 +1,66 @@
+"""NeuMF (He et al. 2017): GMF ⊕ MLP neural collaborative filtering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Parameter, Tensor, concat, no_grad
+from ..data import InteractionDataset
+from .base import Recommender, TrainConfig
+
+__all__ = ["NeuMF"]
+
+
+class NeuMF(Recommender):
+    """Fusion of generalised MF and a two-layer MLP over concatenated embeddings."""
+
+    name = "NeuMF"
+
+    def __init__(self, train: InteractionDataset, config: TrainConfig | None = None):
+        super().__init__(train, config)
+        d = self.config.dim // 2  # half the budget each for GMF and MLP towers
+        scale = 0.1 / np.sqrt(d)
+        rng = self.rng
+        self.gmf_user = Parameter(rng.normal(0.0, scale, size=(train.n_users, d)))
+        self.gmf_item = Parameter(rng.normal(0.0, scale, size=(train.n_items, d)))
+        self.mlp_user = Parameter(rng.normal(0.0, scale, size=(train.n_users, d)))
+        self.mlp_item = Parameter(rng.normal(0.0, scale, size=(train.n_items, d)))
+        hidden = d
+        self.W1 = Parameter(rng.normal(0.0, np.sqrt(2.0 / (2 * d)), size=(2 * d, hidden)))
+        self.b1 = Parameter(np.zeros(hidden))
+        self.W2 = Parameter(rng.normal(0.0, np.sqrt(2.0 / hidden), size=(hidden, hidden // 2)))
+        self.b2 = Parameter(np.zeros(hidden // 2))
+        self.out = Parameter(rng.normal(0.0, 0.1, size=(d + hidden // 2, 1)))
+
+    def _logits(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        gu = self.gmf_user.take_rows(users)
+        gi = self.gmf_item.take_rows(items)
+        gmf = gu * gi
+        mu = self.mlp_user.take_rows(users)
+        mi = self.mlp_item.take_rows(items)
+        h = concat([mu, mi], axis=-1)
+        h = (h @ self.W1 + self.b1).relu()
+        h = (h @ self.W2 + self.b2).relu()
+        fused = concat([gmf, h], axis=-1)
+        return (fused @ self.out)[..., 0]
+
+    def loss_batch(self, users, pos, neg) -> Tensor:
+        """Binary cross-entropy over positives and sampled negatives."""
+        from ..autodiff import binary_cross_entropy_with_logits
+
+        pos_logits = self._logits(users, pos)
+        loss = binary_cross_entropy_with_logits(pos_logits, np.ones(len(users)))
+        for j in range(neg.shape[1]):
+            neg_logits = self._logits(users, neg[:, j])
+            loss = loss + binary_cross_entropy_with_logits(neg_logits, np.zeros(len(users)))
+        return loss / (1 + neg.shape[1])
+
+    def score_users(self, users) -> np.ndarray:
+        """``(len(users), n_items)`` scores against the full catalogue; higher is better."""
+        with no_grad():
+            n_items = self.train_data.n_items
+            out = np.zeros((len(users), n_items))
+            all_items = np.arange(n_items)
+            for i, u in enumerate(users):
+                out[i] = self._logits(np.full(n_items, u), all_items).data
+            return out

@@ -1,0 +1,96 @@
+"""Model registry: name → constructor, used by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..data import InteractionDataset
+from .agcn import AGCN
+from .amf import AMF
+from .base import Recommender, TrainConfig
+from .cml import CML, CMLF
+from .hgcf import HGCF
+from .hyperml import HyperML
+from .lightgcn import LightGCN
+from .lrml import LRML
+from .mf import BPRMF, NMF
+from .neumf import NeuMF
+from .ngcf import NGCF
+from .sml import SML
+from .taxorec import TaxoRec
+from .transcf import TransCF
+from .itemknn import ItemKNN
+from .trivial import Popularity, Random
+
+__all__ = ["MODEL_REGISTRY", "create_model", "BASELINE_NAMES", "ALL_NAMES"]
+
+
+def _taxorec(train: InteractionDataset, config: TrainConfig) -> TaxoRec:
+    return TaxoRec(train, config)
+
+
+def _cml_agg(train: InteractionDataset, config: TrainConfig) -> TaxoRec:
+    return TaxoRec(train, config, hyperbolic=False, use_taxonomy=False)
+
+
+def _hyper_cml_agg(train: InteractionDataset, config: TrainConfig) -> TaxoRec:
+    return TaxoRec(train, config, use_taxonomy=False)
+
+
+MODEL_REGISTRY: dict[str, Callable[[InteractionDataset, TrainConfig], Recommender]] = {
+    # General recommendation methods.
+    "BPRMF": BPRMF,
+    "NMF": NMF,
+    "NeuMF": NeuMF,
+    # Metric learning methods.
+    "CML": CML,
+    "TransCF": TransCF,
+    "LRML": LRML,
+    "SML": SML,
+    "HyperML": HyperML,
+    # Graph based methods.
+    "NGCF": NGCF,
+    "LightGCN": LightGCN,
+    "HGCF": HGCF,
+    # Tag based methods.
+    "CMLF": CMLF,
+    "AMF": AMF,
+    "AGCN": AGCN,
+    # Reference floors (not in the paper's table).
+    "Popularity": Popularity,
+    "Random": Random,
+    "ItemKNN": ItemKNN,
+    # Ours (+ Table III ablation aliases).
+    "TaxoRec": _taxorec,
+    "CML+Agg": _cml_agg,
+    "Hyper+CML": HyperML,
+    "Hyper+CML+Agg": _hyper_cml_agg,
+}
+
+BASELINE_NAMES = (
+    "BPRMF",
+    "NMF",
+    "NeuMF",
+    "CML",
+    "TransCF",
+    "LRML",
+    "SML",
+    "HyperML",
+    "NGCF",
+    "LightGCN",
+    "HGCF",
+    "CMLF",
+    "AMF",
+    "AGCN",
+)
+
+ALL_NAMES = BASELINE_NAMES + ("TaxoRec",)
+
+
+def create_model(
+    name: str, train: InteractionDataset, config: TrainConfig | None = None
+) -> Recommender:
+    """Instantiate a registered model by its paper name."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[name](train, config or TrainConfig())

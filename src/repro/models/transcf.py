@@ -1,0 +1,86 @@
+"""TransCF (Park et al. 2018): translational collaborative filtering.
+
+Scores ``-||u + r_uv - v||^2`` with a relation vector built from the pair's
+neighbourhoods: ``r_uv = mean(items of u) ⊙ mean(users of v)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Parameter, Tensor, hinge, no_grad, scatter_mean_rows
+from ..data import InteractionDataset
+from .base import Recommender, TrainConfig
+from .cml import _clip_to_ball
+
+__all__ = ["TransCF"]
+
+
+class TransCF(Recommender):
+    """Neighbourhood-translated metric learning."""
+
+    name = "TransCF"
+
+    def __init__(self, train: InteractionDataset, config: TrainConfig | None = None):
+        super().__init__(train, config)
+        d = self.config.dim
+        scale = 0.1 / np.sqrt(d)
+        self.user_emb = Parameter(self.rng.normal(0.0, scale, size=(train.n_users, d)))
+        self.item_emb = Parameter(self.rng.normal(0.0, scale, size=(train.n_items, d)))
+        mat = train.interaction_matrix().tocoo()
+        self._edge_users = mat.row.astype(np.int64)
+        self._edge_items = mat.col.astype(np.int64)
+
+    def _neighborhoods(self) -> tuple[Tensor, Tensor]:
+        """Per-user mean item embedding and per-item mean user embedding."""
+        user_nb = scatter_mean_rows(
+            self.item_emb.take_rows(self._edge_items), self._edge_users, self.train_data.n_users
+        )
+        item_nb = scatter_mean_rows(
+            self.user_emb.take_rows(self._edge_users), self._edge_items, self.train_data.n_items
+        )
+        return user_nb, item_nb
+
+    def _sq_dist(self, u: Tensor, r: Tensor, v: Tensor) -> Tensor:
+        return ((u + r - v) ** 2).sum(axis=-1)
+
+    def loss_batch(self, users, pos, neg) -> Tensor:
+        """Hinge over neighbourhood-translated distances."""
+        user_nb, item_nb = self._neighborhoods()
+        u = self.user_emb.take_rows(users)
+        nb_u = user_nb.take_rows(users)
+        vp = self.item_emb.take_rows(pos)
+        r_pos = nb_u * item_nb.take_rows(pos)
+        d_pos = self._sq_dist(u, r_pos, vp)
+        loss: Tensor | None = None
+        for j in range(neg.shape[1]):
+            vq = self.item_emb.take_rows(neg[:, j])
+            r_neg = nb_u * item_nb.take_rows(neg[:, j])
+            term = hinge(self.config.margin + d_pos - self._sq_dist(u, r_neg, vq)).mean()
+            loss = term if loss is None else loss + term
+        return loss / neg.shape[1]
+
+    def end_epoch(self, epoch: int) -> None:
+        _clip_to_ball(self.user_emb.data)
+        _clip_to_ball(self.item_emb.data)
+
+    def score_users(self, users) -> np.ndarray:
+        """``(len(users), n_items)`` scores against the full catalogue; higher is better."""
+        with no_grad():
+            user_nb, item_nb = self._neighborhoods()
+            u = self.user_emb.data[users]  # (b, d)
+            nb_u = user_nb.data[users]  # (b, d)
+            v = self.item_emb.data  # (n, d)
+            nb_v = item_nb.data  # (n, d)
+            # ||u + r - v||² with r = nb_u ⊙ nb_v, fully expanded into
+            # matmuls so no (b, n, d) temporary is materialised:
+            #   ||u||² + ||v||² + Σ nb_u²nb_v² + 2(u⊙nb_u)·nb_v − 2u·v − 2nb_u·(nb_v⊙v)
+            d2 = (
+                (u * u).sum(1)[:, None]
+                + (v * v).sum(1)[None, :]
+                + (nb_u * nb_u) @ (nb_v * nb_v).T
+                + 2.0 * (u * nb_u) @ nb_v.T
+                - 2.0 * (u @ v.T)
+                - 2.0 * (nb_u @ (nb_v * v).T)
+            )
+            return -d2

@@ -1,0 +1,6 @@
+"""Optimisers: Euclidean SGD/Adam and manifold-aware Riemannian SGD."""
+
+from .rsgd import RiemannianSGD
+from .sgd import SGD, Adam
+
+__all__ = ["SGD", "Adam", "RiemannianSGD"]

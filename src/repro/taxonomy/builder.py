@@ -1,0 +1,101 @@
+"""Recursive top-down taxonomy construction (paper §IV-C, Fig. 4).
+
+Starting from a root node containing every tag, each node is split into K
+children by the adaptive clustering (Algorithm 1); general tags detected by
+the push-up rule stay at the node, the rest descend.  Recursion stops when
+a node is too small or the depth budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import ensure_rng
+from .clustering import adaptive_cluster
+from .scoring import score_tags
+from .tree import Taxonomy, TaxonomyNode
+
+__all__ = ["build_taxonomy"]
+
+
+def build_taxonomy(
+    embeddings: np.ndarray,
+    item_tags: np.ndarray,
+    k: int = 3,
+    delta: float = 0.5,
+    max_depth: int = 4,
+    min_node_size: int = 4,
+    rng: np.random.Generator | int | None = 0,
+) -> Taxonomy:
+    """Construct a tag taxonomy from Poincaré tag embeddings.
+
+    Parameters
+    ----------
+    embeddings:
+        ``(n_tags, d)`` Poincaré-ball tag embedding table ``T^P``.
+    item_tags:
+        ``(n_items, n_tags)`` item-tag matrix Ψ.
+    k:
+        Children per node (paper's K ∈ {2, 3, 4}).
+    delta:
+        General-tag threshold δ (paper's δ ∈ {0.25, 0.5, 0.75}).
+    max_depth:
+        Maximum node level.
+    min_node_size:
+        Nodes with fewer tags than this become leaves.
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    Taxonomy
+        Tree whose nodes carry member tags, general tags and Eq.-7 scores
+        (the weights of the Eq.-8 regulariser).
+    """
+    rng = ensure_rng(rng)
+    n_tags = embeddings.shape[0]
+    all_tags = np.arange(n_tags, dtype=np.int64)
+
+    def node_scores(members: np.ndarray) -> np.ndarray:
+        """Eq.-7 scores of a node's members treated as a single group."""
+        if len(members) == 0:
+            return np.array([], dtype=np.float64)
+        return score_tags(item_tags, [members])[0]
+
+    def split(members: np.ndarray, level: int) -> TaxonomyNode:
+        node = TaxonomyNode(members=members, level=level, scores=node_scores(members))
+        if level >= max_depth or len(members) < max(min_node_size, k + 1):
+            node.general_tags = members.copy()
+            return node
+        groups, _, pushed = adaptive_cluster(
+            members, embeddings, item_tags, k=k, delta=delta, rng=rng
+        )
+        if len(groups) < 2 and len(members) >= 2 * k:
+            # Degenerate split: the push-up rule swallowed everything (all
+            # scores below δ — typical when item-tag statistics are thin).
+            # Fall back to the plain Poincaré k-means partition so the
+            # hierarchy still materialises; no tag is marked general.
+            from .clustering import poincare_kmeans
+
+            labels, _ = poincare_kmeans(embeddings[members], k, rng=rng)
+            groups = [members[labels == c] for c in range(labels.max() + 1)]
+            groups = [g for g in groups if len(g)]
+            pushed = np.array([], dtype=np.int64)
+        if len(groups) < 2:
+            node.general_tags = members.copy()
+            return node
+        node.general_tags = pushed
+        covered = set(int(t) for t in pushed)
+        for group in groups:
+            covered.update(int(t) for t in group)
+            node.children.append(split(group, level + 1))
+        # Tags dropped by degenerate clusterings stay general at this node.
+        missing = np.array(
+            [int(t) for t in members if int(t) not in covered], dtype=np.int64
+        )
+        if len(missing):
+            node.general_tags = np.concatenate([node.general_tags, missing])
+        return node
+
+    root = split(all_tags, level=0)
+    return Taxonomy(root, n_tags=n_tags)

@@ -1,0 +1,88 @@
+"""Taxonomy interchange: JSON documents and networkx graphs.
+
+Constructed taxonomies are the paper's interpretability artefact; this
+module lets downstream tools consume them — a JSON document for UIs /
+storage, and a ``networkx.DiGraph`` for graph analytics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import networkx as nx
+import numpy as np
+
+from .tree import Taxonomy, TaxonomyNode
+
+__all__ = ["to_dict", "from_dict", "save_json", "load_json", "to_networkx"]
+
+
+def to_dict(taxonomy: Taxonomy, tag_names: list[str] | None = None) -> dict:
+    """Serialise a taxonomy to plain JSON-compatible types."""
+
+    def node_dict(node: TaxonomyNode) -> dict:
+        out = {
+            "level": node.level,
+            "members": [int(t) for t in node.members],
+            "general_tags": [int(t) for t in node.general_tags],
+            "scores": [float(s) for s in node.scores],
+            "children": [node_dict(c) for c in node.children],
+        }
+        if tag_names:
+            out["general_names"] = [tag_names[t] for t in node.general_tags]
+        return out
+
+    return {"n_tags": taxonomy.n_tags, "root": node_dict(taxonomy.root)}
+
+
+def from_dict(data: dict) -> Taxonomy:
+    """Inverse of :func:`to_dict`."""
+
+    def build(node_data: dict) -> TaxonomyNode:
+        node = TaxonomyNode(
+            members=np.array(node_data["members"], dtype=np.int64),
+            general_tags=np.array(node_data["general_tags"], dtype=np.int64),
+            scores=np.array(node_data["scores"], dtype=np.float64),
+            level=int(node_data["level"]),
+        )
+        node.children = [build(c) for c in node_data["children"]]
+        return node
+
+    return Taxonomy(build(data["root"]), n_tags=int(data["n_tags"]))
+
+
+def save_json(taxonomy: Taxonomy, path: str | Path, tag_names: list[str] | None = None) -> None:
+    """Write :func:`to_dict` output as a JSON file."""
+    Path(path).write_text(json.dumps(to_dict(taxonomy, tag_names), indent=2))
+
+
+def load_json(path: str | Path) -> Taxonomy:
+    """Read a taxonomy written by :func:`save_json`."""
+    return from_dict(json.loads(Path(path).read_text()))
+
+
+def to_networkx(taxonomy: Taxonomy, tag_names: list[str] | None = None) -> nx.DiGraph:
+    """Directed graph: one node per taxonomy node, edges parent → child.
+
+    Node attributes: ``level``, ``size`` (member count), ``general`` (tag
+    names or ids retained at the node).
+    """
+    graph = nx.DiGraph()
+    counter = 0
+
+    def visit(node: TaxonomyNode, parent_id: int | None) -> None:
+        nonlocal counter
+        node_id = counter
+        counter += 1
+        general = [
+            tag_names[t] if tag_names else int(t) for t in node.general_tags
+        ]
+        graph.add_node(node_id, level=node.level, size=len(node.members), general=general)
+        if parent_id is not None:
+            graph.add_edge(parent_id, node_id)
+        for child in node.children:
+            visit(child, node_id)
+
+    visit(taxonomy.root, None)
+    return graph

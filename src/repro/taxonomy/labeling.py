@@ -1,0 +1,65 @@
+"""Automatic node labelling for constructed taxonomies.
+
+A taxonomy node is a *set* of tags; for display (the paper's Fig. 6 and
+Table V) each node needs a headline concept.  The natural label is the
+node's most representative tag: the general tag retained by the push-up
+rule if one exists, otherwise the member with the highest Eq.-7 score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scoring import score_tags
+from .tree import Taxonomy, TaxonomyNode
+
+__all__ = ["node_label", "label_taxonomy"]
+
+
+def node_label(
+    node: TaxonomyNode,
+    item_tags: np.ndarray | None = None,
+    tag_names: list[str] | None = None,
+) -> str:
+    """Headline concept for one node.
+
+    Preference order: highest-scoring retained general tag → highest
+    Eq.-7 member (recomputed against Ψ when provided and the node carries
+    no scores) → first member.
+    """
+    candidates: np.ndarray
+    scores: np.ndarray
+    if len(node.general_tags):
+        candidates = node.general_tags
+        member_index = {int(t): i for i, t in enumerate(node.members)}
+        if len(node.scores) == len(node.members):
+            scores = np.array(
+                [node.scores[member_index.get(int(t), 0)] for t in candidates]
+            )
+        else:
+            scores = np.ones(len(candidates))
+    elif len(node.members):
+        candidates = node.members
+        if len(node.scores) == len(node.members):
+            scores = node.scores
+        elif item_tags is not None:
+            scores = score_tags(item_tags, [node.members])[0]
+        else:
+            scores = np.ones(len(candidates))
+    else:
+        return "(empty)"
+    best = int(candidates[int(np.argmax(scores))])
+    return tag_names[best] if tag_names else f"tag_{best}"
+
+
+def label_taxonomy(
+    taxonomy: Taxonomy,
+    item_tags: np.ndarray | None = None,
+    tag_names: list[str] | None = None,
+) -> list[tuple[int, str, int]]:
+    """Label every node; returns ``(level, label, member_count)`` rows in
+    pre-order — ready for an outline rendering of the tree."""
+    rows = []
+    for node in taxonomy.nodes():
+        rows.append((node.level, node_label(node, item_tags, tag_names), len(node.members)))
+    return rows

@@ -1,0 +1,141 @@
+"""Quantitative taxonomy-recovery metrics against a planted ground truth.
+
+The paper evaluates constructed taxonomies qualitatively (Fig. 6, RQ4).
+Because our synthetic datasets plant the true taxonomy, we can also score
+recovery: ancestor-pair precision/recall/F1 and per-level clustering
+agreement (NMI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tree import Taxonomy
+
+__all__ = ["RecoveryReport", "ancestor_pairs_from_parent", "ancestor_f1", "partition_nmi", "evaluate_recovery"]
+
+
+def ancestor_pairs_from_parent(parent: np.ndarray) -> set[tuple[int, int]]:
+    """All (ancestor, descendant) tag pairs implied by a parent array."""
+    pairs: set[tuple[int, int]] = set()
+    for t in range(len(parent)):
+        cur = parent[t]
+        while cur != -1:
+            pairs.add((int(cur), t))
+            cur = parent[cur]
+    return pairs
+
+
+def ancestor_f1(
+    predicted: set[tuple[int, int]], truth: set[tuple[int, int]]
+) -> tuple[float, float, float]:
+    """Precision, recall and F1 of predicted ancestor pairs."""
+    if not predicted and not truth:
+        return 1.0, 1.0, 1.0
+    hit = len(predicted & truth)
+    precision = hit / len(predicted) if predicted else 0.0
+    recall = hit / len(truth) if truth else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return precision, recall, f1
+
+
+def _entropy(labels: np.ndarray) -> float:
+    _, counts = np.unique(labels, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log(p)).sum())
+
+
+def partition_nmi(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Normalised mutual information between two labelings of the same tags."""
+    if len(labels_a) != len(labels_b):
+        raise ValueError("labelings must cover the same elements")
+    n = len(labels_a)
+    if n == 0:
+        return 1.0
+    ha, hb = _entropy(labels_a), _entropy(labels_b)
+    if ha == 0.0 and hb == 0.0:
+        return 1.0
+    mi = 0.0
+    for a in np.unique(labels_a):
+        mask_a = labels_a == a
+        pa = mask_a.mean()
+        for b in np.unique(labels_b):
+            joint = (mask_a & (labels_b == b)).mean()
+            if joint > 0:
+                pb = (labels_b == b).mean()
+                mi += joint * np.log(joint / (pa * pb))
+    denom = np.sqrt(ha * hb)
+    return float(mi / denom) if denom > 0 else 0.0
+
+
+def _truth_level_labels(parent: np.ndarray, level: int) -> np.ndarray:
+    """Ground-truth label of each tag: its ancestor at depth ``level`` (or itself)."""
+    depths = np.zeros(len(parent), dtype=np.int64)
+    for t in range(len(parent)):
+        d, cur = 0, parent[t]
+        while cur != -1:
+            d += 1
+            cur = parent[cur]
+        depths[t] = d
+    labels = np.arange(len(parent), dtype=np.int64)
+    for t in range(len(parent)):
+        cur = t
+        while depths[cur] > level and parent[cur] != -1:
+            cur = int(parent[cur])
+        labels[t] = cur
+    return labels
+
+
+@dataclass
+class RecoveryReport:
+    """Taxonomy-recovery scores for one constructed tree."""
+
+    ancestor_precision: float
+    ancestor_recall: float
+    ancestor_f1: float
+    level1_nmi: float
+    depth: int
+    n_nodes: int
+
+    def as_row(self) -> list[object]:
+        """Render as one recovery-report row."""
+        return [
+            f"{self.ancestor_precision:.3f}",
+            f"{self.ancestor_recall:.3f}",
+            f"{self.ancestor_f1:.3f}",
+            f"{self.level1_nmi:.3f}",
+            self.depth,
+            self.n_nodes,
+        ]
+
+
+def evaluate_recovery(taxonomy: Taxonomy, parent: np.ndarray) -> RecoveryReport:
+    """Score a constructed taxonomy against the planted parent array."""
+    predicted = taxonomy.ancestor_pairs()
+    truth = ancestor_pairs_from_parent(parent)
+    precision, recall, f1 = ancestor_f1(predicted, truth)
+
+    # Level-1 clustering agreement: compare the top split's partition of
+    # tags against the ground-truth top-level subtrees.
+    level1 = taxonomy.level_partition(1)
+    n_tags = taxonomy.n_tags
+    constructed = np.full(n_tags, -1, dtype=np.int64)
+    for c, members in enumerate(level1):
+        constructed[members] = c
+    covered = constructed >= 0
+    if covered.any():
+        truth_labels = _truth_level_labels(parent, level=0)
+        nmi = partition_nmi(constructed[covered], truth_labels[covered])
+    else:
+        nmi = 0.0
+
+    return RecoveryReport(
+        ancestor_precision=precision,
+        ancestor_recall=recall,
+        ancestor_f1=f1,
+        level1_nmi=nmi,
+        depth=taxonomy.depth,
+        n_nodes=taxonomy.n_nodes,
+    )

@@ -1,0 +1,69 @@
+"""Taxonomy-aware regularisation loss L_reg (paper Eq. 8).
+
+For every node ``G_k`` of the constructed taxonomy, member tags are pulled
+toward the node's score-weighted centre:
+
+    L_reg = Σ_{G_k} Σ_{t_i ∈ G_k} d_P(T_i, Σ_j s(t_j, G_k) T_j / Σ_l s(t_l, G_k))
+
+Fine-grained tags appear in a node at every level along their path and are
+therefore regularised more strongly than general tags retained near the
+root — exactly the positive level/strength correlation the paper argues for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..manifolds import PoincareBall
+from .tree import Taxonomy
+
+__all__ = ["taxonomy_regularizer"]
+
+_BALL = PoincareBall()
+
+
+def taxonomy_regularizer(tag_embeddings: Tensor, taxonomy: Taxonomy) -> Tensor:
+    """Differentiable L_reg over the Poincaré tag table.
+
+    Parameters
+    ----------
+    tag_embeddings:
+        ``(n_tags, d)`` Poincaré tag embeddings ``T^P`` (requires grad).
+    taxonomy:
+        The currently constructed taxonomy; node ``scores`` act as the
+        fixed weights of the centre (they are recomputed only when the
+        taxonomy itself is rebuilt, matching the paper's alternation).
+
+    Returns
+    -------
+    Tensor
+        Scalar loss (mean over all (node, tag) incidences so λ is
+        comparable across taxonomy shapes).
+    """
+    total: Tensor | None = None
+    count = 0
+    for node in taxonomy.nodes():
+        members = node.members
+        if len(members) < 2:
+            continue
+        if len(members) == taxonomy.n_tags:
+            # Skip the root: pulling *every* tag toward one global centre
+            # encodes no hierarchy and, worse, collapses the tag space when
+            # the taxonomy is still degenerate early in training.
+            continue
+        weights = node.scores if len(node.scores) == len(members) else np.ones(len(members))
+        w_sum = float(weights.sum())
+        if w_sum <= 0:
+            weights = np.ones(len(members))
+            w_sum = float(len(members))
+        member_emb = tag_embeddings.take_rows(members)  # (m, d)
+        w = Tensor((weights / w_sum)[:, None])
+        center = (member_emb * w).sum(axis=0)  # (d,)
+        dists = _BALL.dist(member_emb, center.reshape(1, -1))
+        node_loss = dists.sum()
+        total = node_loss if total is None else total + node_loss
+        count += len(members)
+    if total is None:
+        return Tensor(0.0)
+    return total / max(count, 1)

@@ -1,0 +1,186 @@
+"""Tag taxonomy data structure produced by the construction algorithm.
+
+A taxonomy is a tree of tag-set nodes (paper Fig. 4): each node holds the
+tags clustered into it; *general* tags detected by the adaptive clustering
+(Algorithm 1) are retained at the node itself, while the remaining tags are
+partitioned among its children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["TaxonomyNode", "Taxonomy"]
+
+
+@dataclass
+class TaxonomyNode:
+    """One node of the constructed taxonomy.
+
+    Parameters
+    ----------
+    members:
+        All tag ids contained in this node's subtree (the tag set ``G_k``).
+    general_tags:
+        Tags retained at this node by the push-up rule — the general
+        concepts whose representativeness fell below δ in every child.
+    scores:
+        ``s(t, G_k)`` for every member tag (aligned with ``members``),
+        used as the regularisation weights of Eq. 8.
+    level:
+        Depth of the node; the root is level 0.
+    children:
+        Child nodes (fine-grained splits).
+    """
+
+    members: np.ndarray
+    general_tags: np.ndarray = field(default_factory=lambda: np.array([], dtype=np.int64))
+    scores: np.ndarray = field(default_factory=lambda: np.array([], dtype=np.float64))
+    level: int = 0
+    children: list["TaxonomyNode"] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.members = np.asarray(self.members, dtype=np.int64)
+        self.general_tags = np.asarray(self.general_tags, dtype=np.int64)
+        self.scores = np.asarray(self.scores, dtype=np.float64)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return not self.children
+
+    def __repr__(self) -> str:
+        return (
+            f"TaxonomyNode(level={self.level}, members={len(self.members)}, "
+            f"general={len(self.general_tags)}, children={len(self.children)})"
+        )
+
+
+class Taxonomy:
+    """Constructed tag taxonomy with traversal and rendering helpers."""
+
+    def __init__(self, root: TaxonomyNode, n_tags: int):
+        self.root = root
+        self.n_tags = n_tags
+
+    @classmethod
+    def from_parent_array(cls, parent: np.ndarray) -> "Taxonomy":
+        """Build a taxonomy from an existing parent array.
+
+        Supports the paper's future-work setting of *incorporating an
+        existing taxonomy*: ``parent[t]`` is tag ``t``'s parent (or -1).
+        Each tag with children becomes a node holding its subtree, with the
+        tag itself retained as the node's general tag.
+        """
+        parent = np.asarray(parent, dtype=np.int64)
+        n_tags = len(parent)
+        children: dict[int, list[int]] = {t: [] for t in range(-1, n_tags)}
+        for t, p in enumerate(parent):
+            children[int(p)].append(t)
+
+        def subtree_tags(t: int) -> list[int]:
+            out = [t]
+            for c in children[t]:
+                out.extend(subtree_tags(c))
+            return out
+
+        def make_node(tag: int, level: int) -> TaxonomyNode:
+            members = np.array(subtree_tags(tag), dtype=np.int64)
+            node = TaxonomyNode(
+                members=members,
+                general_tags=np.array([tag], dtype=np.int64),
+                scores=np.ones(len(members)),
+                level=level,
+            )
+            node.children = [make_node(c, level + 1) for c in children[tag]]
+            return node
+
+        root = TaxonomyNode(
+            members=np.arange(n_tags, dtype=np.int64),
+            general_tags=np.array([], dtype=np.int64),
+            scores=np.ones(n_tags),
+            level=0,
+        )
+        root.children = [make_node(t, 1) for t in children[-1]]
+        return cls(root, n_tags=n_tags)
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[TaxonomyNode]:
+        """Pre-order traversal over every node, root first."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    @property
+    def depth(self) -> int:
+        """Maximum node level in the tree."""
+        return max(node.level for node in self.nodes())
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+        return sum(1 for _ in self.nodes())
+
+    def level_partition(self, level: int) -> list[np.ndarray]:
+        """Member sets of all nodes at exactly ``level`` (the level's clustering)."""
+        return [node.members for node in self.nodes() if node.level == level]
+
+    def tag_level(self) -> np.ndarray:
+        """For every tag, the deepest node level at which it appears.
+
+        General tags pushed up at shallow levels report small values;
+        fine-grained tags survive down to the leaves.
+        """
+        levels = np.zeros(self.n_tags, dtype=np.int64)
+        for node in self.nodes():
+            for t in node.members:
+                levels[t] = max(levels[t], node.level)
+        return levels
+
+    def ancestor_pairs(self) -> set[tuple[int, int]]:
+        """Predicted (ancestor_tag, descendant_tag) pairs.
+
+        A tag retained as *general* at a node is treated as a hypernym of
+        every tag that descends into the node's children — the relation the
+        push-up rule is designed to discover.
+        """
+        pairs: set[tuple[int, int]] = set()
+
+        def visit(node: TaxonomyNode) -> None:
+            below = set()
+            for child in node.children:
+                below.update(int(t) for t in child.members)
+            for g in node.general_tags:
+                for t in below:
+                    if int(g) != t:
+                        pairs.add((int(g), t))
+            for child in node.children:
+                visit(child)
+
+        visit(self.root)
+        return pairs
+
+    def render(self, tag_names: list[str] | None = None, max_tags: int = 6) -> str:
+        """ASCII rendering (used by the Fig. 6 reproduction)."""
+        lines: list[str] = []
+
+        def label(tags: np.ndarray) -> str:
+            shown = tags[:max_tags]
+            names = [tag_names[t] if tag_names else str(t) for t in shown]
+            suffix = f" …(+{len(tags) - max_tags})" if len(tags) > max_tags else ""
+            return "{" + ", ".join(f"<{n}>" for n in names) + "}" + suffix
+
+        def visit(node: TaxonomyNode, prefix: str) -> None:
+            head = f"level-{node.level}"
+            general = f" general={label(node.general_tags)}" if len(node.general_tags) else ""
+            lines.append(f"{prefix}{head}: {len(node.members)} tags{general}")
+            for child in node.children:
+                visit(child, prefix + "  ")
+
+        visit(self.root, "")
+        return "\n".join(lines)

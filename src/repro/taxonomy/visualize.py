@@ -1,0 +1,86 @@
+"""Dependency-free SVG rendering of Poincaré-disc embeddings.
+
+Produces the paper's Fig. 3/Fig. 6-style pictures — tag points inside the
+unit disc, coloured by taxonomy subtree, with parent-child edges — as a
+standalone SVG string (no matplotlib required offline).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["poincare_disc_svg", "save_svg"]
+
+_PALETTE = (
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+)
+
+
+def poincare_disc_svg(
+    points: np.ndarray,
+    labels: np.ndarray | None = None,
+    edges: list[tuple[int, int]] | None = None,
+    names: list[str] | None = None,
+    size: int = 480,
+    point_radius: float = 4.0,
+) -> str:
+    """Render 2-D Poincaré-ball points as an SVG document.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` coordinates with ``||p|| < 1``.
+    labels:
+        Optional integer group per point (colours cycle through a palette).
+    edges:
+        Optional point-index pairs drawn as straight chords (e.g.
+        parent-child tag relations).
+    names:
+        Optional hover titles per point.
+    size:
+        Canvas size in pixels.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be (n, 2)")
+    if np.linalg.norm(points, axis=1).max(initial=0.0) >= 1.0:
+        raise ValueError("points must lie strictly inside the unit disc")
+
+    center = size / 2.0
+    radius = size / 2.0 - 4.0
+
+    def to_px(p):
+        return center + p[0] * radius, center - p[1] * radius
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" '
+        f'viewBox="0 0 {size} {size}">',
+        f'<circle cx="{center}" cy="{center}" r="{radius}" fill="#fdfdfd" '
+        f'stroke="#333" stroke-width="1.5"/>',
+    ]
+    if edges:
+        for a, b in edges:
+            xa, ya = to_px(points[a])
+            xb, yb = to_px(points[b])
+            parts.append(
+                f'<line x1="{xa:.1f}" y1="{ya:.1f}" x2="{xb:.1f}" y2="{yb:.1f}" '
+                f'stroke="#bbb" stroke-width="0.8"/>'
+            )
+    for i, p in enumerate(points):
+        x, y = to_px(p)
+        color = _PALETTE[int(labels[i]) % len(_PALETTE)] if labels is not None else _PALETTE[0]
+        title = f"<title>{names[i]}</title>" if names else ""
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{point_radius}" fill="{color}" '
+            f'fill-opacity="0.85" stroke="#222" stroke-width="0.4">{title}</circle>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg: str, path: str | Path) -> None:
+    """Write an SVG document to disk."""
+    Path(path).write_text(svg)

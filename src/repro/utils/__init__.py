@@ -1,0 +1,7 @@
+"""Shared utilities: RNG plumbing, logging, table rendering."""
+
+from .logging import Timer, get_logger
+from .rng import ensure_rng, spawn
+from .tables import format_percent, render_table
+
+__all__ = ["ensure_rng", "spawn", "get_logger", "Timer", "render_table", "format_percent"]

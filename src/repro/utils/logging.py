@@ -1,0 +1,38 @@
+"""Lightweight structured run logging."""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+
+__all__ = ["get_logger", "Timer"]
+
+_CONFIGURED = False
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Return the shared logger, configuring a stderr handler on first use."""
+    global _CONFIGURED
+    logger = logging.getLogger(name)
+    if not _CONFIGURED:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+        root = logging.getLogger("repro")
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        _CONFIGURED = True
+    return logger
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds into ``.elapsed``."""
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed = time.perf_counter() - self._start
+        return False

@@ -1,0 +1,25 @@
+"""Deterministic random-number plumbing.
+
+Everything stochastic in the repo takes either an explicit
+``numpy.random.Generator`` or an integer seed; this module centralises the
+conversion so seeds written in configs reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn"]
+
+
+def ensure_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``Generator``: pass through generators, seed ints, or fresh entropy."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``."""
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,32 @@
+"""Shared fixtures: tiny deterministic datasets so model tests stay fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset, SyntheticConfig, generate, temporal_split
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> InteractionDataset:
+    """A small taxonomy-planted dataset shared across model tests."""
+    config = SyntheticConfig(
+        n_users=60,
+        n_items=90,
+        branching=(3, 3),
+        mean_interactions=18.0,
+        seed=7,
+        name="tiny",
+    )
+    return generate(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    return temporal_split(tiny_dataset)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,88 @@
+"""Hypothesis property tests for the autodiff engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autodiff import Tensor, check_gradients
+
+finite = st.floats(-3.0, 3.0, allow_nan=False)
+
+
+@st.composite
+def matrix(draw, max_side=4):
+    rows = draw(st.integers(1, max_side))
+    cols = draw(st.integers(1, max_side))
+    return draw(hnp.arrays(np.float64, (rows, cols), elements=finite))
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix())
+def test_sum_of_parts_equals_total(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(
+        t.sum(axis=0).sum().item(), t.sum().item(), rtol=1e-12, atol=1e-12
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix(), finite)
+def test_linearity_of_gradient(x, scale):
+    """grad of (c * f) equals c * grad of f."""
+    t1 = Tensor(x, requires_grad=True)
+    (t1 * t1).sum().backward()
+    g1 = t1.grad.copy()
+
+    t2 = Tensor(x, requires_grad=True)
+    ((t2 * t2).sum() * scale).backward()
+    np.testing.assert_allclose(t2.grad, scale * g1, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrix())
+def test_polynomial_gradcheck(x):
+    check_gradients(
+        lambda a: ((a * a * 0.5 + a * 3.0 - 1.0) ** 2).sum(), [x], atol=1e-3, rtol=1e-3
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrix())
+def test_tanh_exp_chain_gradcheck(x):
+    check_gradients(lambda a: (a.tanh() * (a * 0.1).exp()).sum(), [x], atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix())
+def test_exp_log_inverse(x):
+    t = Tensor(np.abs(x) + 0.5)
+    np.testing.assert_allclose(t.log().exp().data, t.data, rtol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix(), matrix())
+def test_addition_commutes(a, b):
+    if a.shape != b.shape:
+        return
+    np.testing.assert_array_equal((Tensor(a) + Tensor(b)).data, (Tensor(b) + Tensor(a)).data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrix())
+def test_backward_matches_manual_for_quadratic(x):
+    """d/dx sum(x²) = 2x exactly."""
+    t = Tensor(x, requires_grad=True)
+    (t * t).sum().backward()
+    np.testing.assert_allclose(t.grad, 2 * x, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 6))
+def test_take_rows_gradient_counts_repeats(n_rows, n_picks):
+    rng = np.random.default_rng(0)
+    idx = rng.integers(0, n_rows, size=n_picks)
+    t = Tensor(rng.normal(size=(n_rows, 2)), requires_grad=True)
+    t.take_rows(idx).sum().backward()
+    counts = np.bincount(idx, minlength=n_rows).astype(float)
+    np.testing.assert_allclose(t.grad, np.repeat(counts[:, None], 2, axis=1))

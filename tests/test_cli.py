@@ -1,0 +1,51 @@
+"""CLI behaviour (fast paths only; training uses a tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.model == "TaxoRec"
+        assert args.dataset == "ciao"
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "netflix"])
+
+
+class TestMain:
+    def test_list_models(self, capsys):
+        assert main(["--list-models"]) == 0
+        out = capsys.readouterr().out
+        assert "TaxoRec" in out
+        assert "BPRMF" in out
+
+    def test_unknown_model_error(self, capsys):
+        assert main(["--model", "Nothing"]) == 2
+
+    def test_end_to_end_tiny_run(self, capsys, tmp_path):
+        save = tmp_path / "weights.npz"
+        code = main(
+            [
+                "--model",
+                "BPRMF",
+                "--dataset",
+                "ciao",
+                "--scale",
+                "0.08",
+                "--epochs",
+                "2",
+                "--save",
+                str(save),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Recall@10" in out
+        assert save.exists()
+        loaded = np.load(save)
+        assert "user_emb" in loaded

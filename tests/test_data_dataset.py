@@ -1,0 +1,84 @@
+"""InteractionDataset container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+
+
+def make(n_users=3, n_items=4, n_tags=2, **kw):
+    defaults = dict(
+        n_users=n_users,
+        n_items=n_items,
+        n_tags=n_tags,
+        user_ids=np.array([0, 0, 1, 2]),
+        item_ids=np.array([1, 2, 0, 3]),
+        timestamps=np.array([0.0, 1.0, 0.0, 0.0]),
+        item_tags=np.array([[1, 0], [0, 1], [1, 1], [0, 0]], dtype=float),
+    )
+    defaults.update(kw)
+    return InteractionDataset(**defaults)
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        ds = make()
+        assert ds.n_interactions == 4
+
+    def test_rejects_ragged_arrays(self):
+        with pytest.raises(ValueError):
+            make(user_ids=np.array([0, 1]))
+
+    def test_rejects_bad_item_tags_shape(self):
+        with pytest.raises(ValueError):
+            make(item_tags=np.zeros((2, 2)))
+
+    def test_rejects_out_of_range_user(self):
+        with pytest.raises(ValueError):
+            make(user_ids=np.array([0, 0, 1, 5]))
+
+    def test_rejects_out_of_range_item(self):
+        with pytest.raises(ValueError):
+            make(item_ids=np.array([1, 2, 0, 9]))
+
+    def test_default_tag_names(self):
+        assert make().tag_names == ["tag_0", "tag_1"]
+
+
+class TestViews:
+    def test_density(self):
+        assert make().density == 4 / 12
+
+    def test_interaction_matrix_binary(self):
+        ds = make(user_ids=np.array([0, 0, 1, 2]), item_ids=np.array([1, 1, 0, 3]))
+        mat = ds.interaction_matrix()
+        assert mat.shape == (3, 4)
+        assert mat[0, 1] == 1.0  # duplicate collapsed
+
+    def test_items_of_user_ordered_by_time(self):
+        ds = make(
+            user_ids=np.array([0, 0, 1, 2]),
+            item_ids=np.array([2, 1, 0, 3]),
+            timestamps=np.array([5.0, 1.0, 0.0, 0.0]),
+        )
+        per_user = ds.items_of_user()
+        np.testing.assert_array_equal(per_user[0], [1, 2])  # time-sorted
+
+    def test_items_of_user_empty_for_inactive(self):
+        ds = make(user_ids=np.array([0, 0, 0, 0]))
+        assert len(ds.items_of_user()[2]) == 0
+
+    def test_tags_of_item(self):
+        ds = make()
+        np.testing.assert_array_equal(ds.tags_of_item(2), [0, 1])
+        np.testing.assert_array_equal(ds.tags_of_item(3), [])
+
+    def test_subset(self):
+        ds = make()
+        sub = ds.subset(ds.user_ids == 0, name="sub")
+        assert sub.n_interactions == 2
+        assert sub.name == "sub"
+        assert sub.n_users == ds.n_users  # entity space preserved
+
+    def test_repr(self):
+        assert "users=3" in repr(make())

@@ -1,0 +1,62 @@
+"""Negative sampling invariants."""
+
+import numpy as np
+
+from repro.data import SyntheticConfig, TripletSampler, generate
+
+
+def make_train():
+    return generate(SyntheticConfig(n_users=40, n_items=60, seed=21))
+
+
+class TestTripletSampler:
+    def test_negatives_never_positive(self):
+        train = make_train()
+        sampler = TripletSampler(train, n_negatives=3, seed=0)
+        pos_set = set(zip(train.user_ids.tolist(), train.item_ids.tolist()))
+        users = train.user_ids[:200]
+        negs = sampler.sample_negatives(users)
+        for u, row in zip(users, negs):
+            for v in row:
+                assert (int(u), int(v)) not in pos_set
+
+    def test_negative_shape(self):
+        sampler = TripletSampler(make_train(), n_negatives=4, seed=0)
+        out = sampler.sample_negatives(np.array([0, 1, 2]))
+        assert out.shape == (3, 4)
+
+    def test_explicit_count_overrides_default(self):
+        sampler = TripletSampler(make_train(), n_negatives=1, seed=0)
+        assert sampler.sample_negatives(np.array([0]), n_each=7).shape == (1, 7)
+
+    def test_epoch_covers_all_positives(self):
+        train = make_train()
+        sampler = TripletSampler(train, seed=0)
+        seen = 0
+        for users, pos, neg in sampler.epoch(128):
+            assert len(users) == len(pos) == len(neg)
+            seen += len(users)
+        assert seen == train.n_interactions
+
+    def test_epoch_batches_respect_size(self):
+        sampler = TripletSampler(make_train(), seed=0)
+        sizes = [len(u) for u, _, _ in sampler.epoch(100)]
+        assert all(s <= 100 for s in sizes)
+
+    def test_shuffling_changes_order(self):
+        train = make_train()
+        s1 = TripletSampler(train, seed=1)
+        s2 = TripletSampler(train, seed=2)
+        u1 = next(iter(s1.epoch(64)))[0]
+        u2 = next(iter(s2.epoch(64)))[0]
+        assert not np.array_equal(u1, u2)
+
+    def test_deterministic_with_same_seed(self):
+        train = make_train()
+        rows = []
+        for seed in (5, 5):
+            sampler = TripletSampler(train, seed=seed)
+            users, pos, neg = next(iter(sampler.epoch(64)))
+            rows.append((users.copy(), pos.copy(), neg.copy()))
+        np.testing.assert_array_equal(rows[0][0], rows[1][0])
+        np.testing.assert_array_equal(rows[0][2], rows[1][2])

@@ -1,0 +1,73 @@
+"""Temporal 60/20/20 splitting (paper §V-A2)."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset, SyntheticConfig, generate, temporal_split
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(SyntheticConfig(n_users=50, n_items=80, seed=11))
+
+
+class TestTemporalSplit:
+    def test_partitions_all_interactions(self, dataset):
+        sp = temporal_split(dataset)
+        total = sp.train.n_interactions + sp.valid.n_interactions + sp.test.n_interactions
+        assert total == dataset.n_interactions
+
+    def test_fractions_roughly_respected(self, dataset):
+        sp = temporal_split(dataset)
+        frac_train = sp.train.n_interactions / dataset.n_interactions
+        assert 0.55 < frac_train < 0.7
+
+    def test_train_precedes_test_per_user(self, dataset):
+        sp = temporal_split(dataset)
+        train_by_user = {}
+        for u, t in zip(sp.train.user_ids, sp.train.timestamps):
+            train_by_user[u] = max(train_by_user.get(u, -np.inf), t)
+        for u, t in zip(sp.test.user_ids, sp.test.timestamps):
+            assert t >= train_by_user[u]
+
+    def test_valid_between_train_and_test(self, dataset):
+        sp = temporal_split(dataset)
+        for u in range(dataset.n_users):
+            tr = sp.train.timestamps[sp.train.user_ids == u]
+            va = sp.valid.timestamps[sp.valid.user_ids == u]
+            te = sp.test.timestamps[sp.test.user_ids == u]
+            if len(tr) and len(va):
+                assert va.min() >= tr.max()
+            if len(va) and len(te):
+                assert te.min() >= va.max()
+
+    def test_every_active_user_keeps_train_items(self, dataset):
+        sp = temporal_split(dataset)
+        active = np.unique(dataset.user_ids)
+        train_users = set(sp.train.user_ids.tolist())
+        assert set(active.tolist()) <= train_users
+
+    def test_tiny_histories_go_to_train(self):
+        ds = InteractionDataset(
+            n_users=1,
+            n_items=5,
+            n_tags=1,
+            user_ids=np.array([0, 0]),
+            item_ids=np.array([0, 1]),
+            timestamps=np.array([0.0, 1.0]),
+            item_tags=np.zeros((5, 1)),
+        )
+        sp = temporal_split(ds)
+        assert sp.train.n_interactions == 2
+        assert sp.test.n_interactions == 0
+
+    def test_invalid_fractions_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            temporal_split(dataset, train_frac=0.8, valid_frac=0.3)
+        with pytest.raises(ValueError):
+            temporal_split(dataset, train_frac=1.2)
+
+    def test_split_names(self, dataset):
+        sp = temporal_split(dataset)
+        assert sp.train.name.endswith("/train")
+        assert sp.test.name.endswith("/test")

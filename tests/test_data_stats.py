@@ -1,0 +1,47 @@
+"""Dataset statistics (Table I machinery)."""
+
+import numpy as np
+
+from repro.data import InteractionDataset, compute_stats
+
+
+def make(tag_parent=None):
+    return InteractionDataset(
+        n_users=2,
+        n_items=3,
+        n_tags=3,
+        user_ids=np.array([0, 1, 1]),
+        item_ids=np.array([0, 1, 2]),
+        timestamps=np.zeros(3),
+        item_tags=np.array([[1, 1, 0], [0, 1, 0], [0, 0, 0]], dtype=float),
+        tag_parent=tag_parent,
+    )
+
+
+class TestComputeStats:
+    def test_counts(self):
+        s = compute_stats(make())
+        assert s.n_users == 2
+        assert s.n_items == 3
+        assert s.n_interactions == 3
+        assert s.n_tags == 3
+
+    def test_density_percent(self):
+        s = compute_stats(make())
+        assert s.density_percent == 100.0 * 3 / 6
+
+    def test_mean_tags_per_item(self):
+        s = compute_stats(make())
+        assert s.mean_tags_per_item == 1.0
+
+    def test_depth_none_without_parent(self):
+        assert compute_stats(make()).taxonomy_depth is None
+
+    def test_depth_with_parent(self):
+        s = compute_stats(make(tag_parent=np.array([-1, 0, 1])))
+        assert s.taxonomy_depth == 3
+
+    def test_as_row(self):
+        row = compute_stats(make()).as_row()
+        assert len(row) == 8
+        assert row[-1] == "-"

@@ -1,0 +1,87 @@
+"""Synthetic generator: presets, planted taxonomy, statistical shape."""
+
+import numpy as np
+import pytest
+
+from repro.data import PRESET_NAMES, SyntheticConfig, compute_stats, generate, load_preset
+
+
+class TestGenerate:
+    def test_deterministic_given_seed(self):
+        c = SyntheticConfig(n_users=40, n_items=60, branching=(3, 2), seed=5)
+        a, b = generate(c), generate(c)
+        np.testing.assert_array_equal(a.user_ids, b.user_ids)
+        np.testing.assert_array_equal(a.item_tags, b.item_tags)
+
+    def test_different_seeds_differ(self):
+        a = generate(SyntheticConfig(n_users=40, n_items=60, seed=1))
+        b = generate(SyntheticConfig(n_users=40, n_items=60, seed=2))
+        assert not np.array_equal(a.item_ids, b.item_ids)
+
+    def test_tag_count_matches_branching(self):
+        ds = generate(SyntheticConfig(n_users=30, n_items=40, branching=(3, 2)))
+        assert ds.n_tags == 3 + 6
+
+    def test_every_user_has_min_interactions(self):
+        ds = generate(SyntheticConfig(n_users=50, n_items=80, seed=3))
+        counts = np.bincount(ds.user_ids, minlength=ds.n_users)
+        assert counts.min() >= 10
+
+    def test_no_duplicate_interactions_per_user(self):
+        ds = generate(SyntheticConfig(n_users=40, n_items=60, seed=4))
+        pairs = set(zip(ds.user_ids.tolist(), ds.item_ids.tolist()))
+        assert len(pairs) == ds.n_interactions
+
+    def test_planted_parent_is_forest(self):
+        ds = generate(SyntheticConfig(n_users=30, n_items=40, branching=(3, 2)))
+        parent = ds.tag_parent
+        assert (parent[:3] == -1).all()  # top level roots
+        assert (parent[3:] >= 0).all()
+
+    def test_untagged_items_exist(self):
+        ds = generate(
+            SyntheticConfig(n_users=30, n_items=200, untagged_item_prob=0.3, seed=0)
+        )
+        untagged = (ds.item_tags.sum(axis=1) == 0).mean()
+        assert 0.1 < untagged < 0.5
+
+    def test_tagged_items_have_leaf_depth_tag(self):
+        ds = generate(
+            SyntheticConfig(n_users=30, n_items=100, branching=(3, 2), untagged_item_prob=0.0)
+        )
+        # Every item carries at least its leaf tag.
+        assert (ds.item_tags.sum(axis=1) >= 1).all()
+
+
+class TestPresets:
+    def test_four_presets(self):
+        assert set(PRESET_NAMES) == {"ciao", "amazon-cd", "amazon-book", "yelp"}
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            load_preset("netflix")
+
+    def test_ciao_has_28_tags(self):
+        assert load_preset("ciao", scale=0.2).n_tags == 28
+
+    def test_relative_shape_matches_table1(self):
+        """Tag counts grow and density shrinks from ciao to yelp, as in Table I."""
+        stats = {n: compute_stats(load_preset(n, scale=0.4)) for n in PRESET_NAMES}
+        assert (
+            stats["ciao"].n_tags
+            < stats["amazon-cd"].n_tags
+            < stats["amazon-book"].n_tags
+            < stats["yelp"].n_tags
+        )
+        assert stats["ciao"].density_percent > stats["yelp"].density_percent
+
+    def test_scale_shrinks_entities(self):
+        small = load_preset("ciao", scale=0.2)
+        big = load_preset("ciao", scale=0.5)
+        assert small.n_users < big.n_users
+        assert small.n_tags == big.n_tags  # structural, unscaled
+
+    def test_seed_override(self):
+        a = load_preset("ciao", scale=0.2, seed=1)
+        b = load_preset("ciao", scale=0.2, seed=2)
+        assert not np.array_equal(a.item_ids, b.item_ids)

@@ -1,0 +1,87 @@
+"""Full-pipeline integration: generate → split → train → evaluate → taxonomy.
+
+The complete workflow a downstream user runs, checked for internal
+consistency on a small dataset.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TaxoRec, TrainConfig, evaluate, load_preset, temporal_split
+from repro.taxonomy import evaluate_recovery
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    dataset = load_preset("ciao", scale=0.25, seed=42)
+    split = temporal_split(dataset)
+    config = TrainConfig(
+        dim=32,
+        tag_dim=8,
+        epochs=30,
+        batch_size=512,
+        lr=1.0,
+        margin=2.0,
+        n_layers=2,
+        taxo_lambda=0.05,
+        seed=0,
+        eval_every=5,
+        patience=3,
+    )
+    model = TaxoRec(split.train, config)
+    model.fit(split)
+    return dataset, split, model
+
+
+class TestPipeline:
+    def test_beats_random_ranking(self, pipeline):
+        dataset, split, model = pipeline
+        result = evaluate(model, split, on="test")
+
+        class Random:
+            rng = np.random.default_rng(0)
+
+            def score_users(self, users):
+                return self.rng.random((len(users), dataset.n_items))
+
+        random_result = evaluate(Random(), split, on="test")
+        assert result.mean() > 1.5 * random_result.mean()
+
+    def test_taxonomy_constructed_and_valid(self, pipeline):
+        dataset, _, model = pipeline
+        taxo = model.taxonomy
+        assert taxo is not None
+        covered = set()
+        for node in taxo.nodes():
+            covered.update(int(t) for t in node.members)
+        assert covered == set(range(dataset.n_tags))
+
+    def test_taxonomy_recovery_report_valid(self, pipeline):
+        dataset, _, model = pipeline
+        report = evaluate_recovery(model.taxonomy, dataset.tag_parent)
+        assert 0.0 <= report.ancestor_f1 <= 1.0
+        assert 0.0 <= report.level1_nmi <= 1.0
+        assert report.n_nodes >= 1
+
+    def test_validation_snapshot_restored(self, pipeline):
+        _, split, model = pipeline
+        # Early stopping keeps the best validation state; its valid score
+        # must be reproducible from the restored weights.
+        result = evaluate(model, split, on="valid")
+        recorded = max(h.get("valid", -1) for h in model.history)
+        assert result.mean() == pytest.approx(recorded, abs=1e-9)
+
+    def test_scores_rank_test_items_above_random_items(self, pipeline):
+        dataset, split, model = pipeline
+        test_items = split.test.items_of_user()
+        users = [u for u in range(dataset.n_users) if len(test_items[u]) >= 2][:20]
+        scores = model.score_users(np.array(users))
+        rng = np.random.default_rng(1)
+        wins = 0
+        total = 0
+        for i, u in enumerate(users):
+            pos = scores[i, test_items[u]].mean()
+            neg = scores[i, rng.choice(dataset.n_items, 20)].mean()
+            wins += pos > neg
+            total += 1
+        assert wins / total > 0.6

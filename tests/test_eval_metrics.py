@@ -1,0 +1,72 @@
+"""Recall@K / NDCG@K correctness."""
+
+import numpy as np
+import pytest
+
+from repro.eval import ndcg_at_k, rank_topk, recall_at_k
+
+
+class TestRankTopK:
+    def test_orders_descending(self):
+        scores = np.array([[0.1, 0.9, 0.5, 0.7]])
+        np.testing.assert_array_equal(rank_topk(scores, 3)[0], [1, 3, 2])
+
+    def test_k_larger_than_items(self):
+        scores = np.array([[0.1, 0.9]])
+        out = rank_topk(scores, 10)
+        np.testing.assert_array_equal(out[0], [1, 0])
+
+    def test_batch_rows_independent(self):
+        scores = np.array([[1.0, 0.0], [0.0, 1.0]])
+        out = rank_topk(scores, 1)
+        np.testing.assert_array_equal(out[:, 0], [0, 1])
+
+
+class TestRecall:
+    def test_perfect(self):
+        topk = np.array([[0, 1, 2]])
+        assert recall_at_k(topk, [np.array([0, 1])], 3) == 1.0
+
+    def test_half(self):
+        topk = np.array([[0, 9, 8]])
+        assert recall_at_k(topk, [np.array([0, 1])], 3) == 0.5
+
+    def test_skips_users_without_positives(self):
+        topk = np.array([[0], [1]])
+        out = recall_at_k(topk, [np.array([0]), np.array([], dtype=int)], 1)
+        assert out == 1.0
+
+    def test_only_first_k_counted(self):
+        topk = np.array([[5, 6, 0]])
+        assert recall_at_k(topk, [np.array([0])], 2) == 0.0
+
+    def test_empty_everything(self):
+        assert recall_at_k(np.zeros((1, 3), dtype=int), [np.array([], dtype=int)], 3) == 0.0
+
+
+class TestNDCG:
+    def test_hit_at_rank1(self):
+        topk = np.array([[0, 1, 2]])
+        assert ndcg_at_k(topk, [np.array([0])], 3) == 1.0
+
+    def test_hit_at_rank2_discounted(self):
+        topk = np.array([[9, 0, 2]])
+        expected = (1 / np.log2(3)) / 1.0
+        assert ndcg_at_k(topk, [np.array([0])], 3) == pytest.approx(expected)
+
+    def test_perfect_multi_positive(self):
+        topk = np.array([[0, 1, 9]])
+        assert ndcg_at_k(topk, [np.array([0, 1])], 3) == pytest.approx(1.0)
+
+    def test_idcg_truncated_at_k(self):
+        # 5 positives but k=2: perfect top-2 still scores 1.
+        topk = np.array([[0, 1]])
+        assert ndcg_at_k(topk, [np.arange(5)], 2) == pytest.approx(1.0)
+
+    def test_positionality(self):
+        """NDCG (position-aware) must distinguish rankings Recall cannot."""
+        good = np.array([[0, 9, 8]])
+        bad = np.array([[9, 8, 0]])
+        pos = [np.array([0])]
+        assert recall_at_k(good, pos, 3) == recall_at_k(bad, pos, 3)
+        assert ndcg_at_k(good, pos, 3) > ndcg_at_k(bad, pos, 3)

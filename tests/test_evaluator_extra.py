@@ -1,0 +1,84 @@
+"""Additional evaluator-protocol edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset, Split, temporal_split
+from repro.eval import evaluate
+
+
+def make_split():
+    """Hand-built split: 2 users, 6 items, controlled phases."""
+    base = dict(n_users=2, n_items=6, n_tags=1, item_tags=np.zeros((6, 1)))
+    train = InteractionDataset(
+        user_ids=np.array([0, 0, 1, 1]),
+        item_ids=np.array([0, 1, 2, 3]),
+        timestamps=np.array([0.0, 1.0, 0.0, 1.0]),
+        **base,
+    )
+    valid = InteractionDataset(
+        user_ids=np.array([0]),
+        item_ids=np.array([2]),
+        timestamps=np.array([2.0]),
+        **base,
+    )
+    test = InteractionDataset(
+        user_ids=np.array([0, 1]),
+        item_ids=np.array([4, 5]),
+        timestamps=np.array([3.0, 2.0]),
+        **base,
+    )
+    return Split(train=train, valid=valid, test=test)
+
+
+class ScoreByIndex:
+    """Deterministic scores: item id = score."""
+
+    def score_users(self, users):
+        return np.tile(np.arange(6, dtype=float), (len(users), 1))
+
+
+class TestMasking:
+    def test_valid_items_masked_for_test_eval(self):
+        split = make_split()
+        # Item 2 (user 0's valid item) outranks item 4 raw, but must be
+        # masked during test evaluation along with train items 0, 1.
+        result = evaluate(ScoreByIndex(), split, on="test")
+        # After masking 0,1,2 for user 0, ranking is 5,4,3 → hit at rank 2.
+        assert result.recall_at_10 == 1.0
+
+    def test_valid_eval_masks_train_only(self):
+        split = make_split()
+        result = evaluate(ScoreByIndex(), split, on="valid")
+        # User 0's valid item is 2; with 0,1 masked, ranking is 5,4,3,2.
+        assert result.recall_at_10 == 1.0
+        assert result.ndcg_at_10 < 1.0  # hit, but not at rank 1
+
+    def test_users_without_held_out_items_skipped(self):
+        split = make_split()
+        # Only user 0 has a valid item; metrics must be over user 0 alone.
+        result = evaluate(ScoreByIndex(), split, on="valid")
+        assert 0.0 <= result.ndcg_at_20 <= 1.0
+
+
+class TestTemporalConsistency:
+    def test_real_split_masking_consistent(self, tiny_dataset):
+        split = temporal_split(tiny_dataset)
+
+        class LeakDetector:
+            """Scores train items at +inf; if masking failed, recall would
+            collapse because train items would crowd out true test items."""
+
+            def __init__(self):
+                self.train_sets = split.train.items_of_user()
+                self.test_sets = split.test.items_of_user()
+
+            def score_users(self, users):
+                scores = np.zeros((len(users), tiny_dataset.n_items))
+                for i, u in enumerate(users):
+                    scores[i, self.train_sets[u]] = 1e9
+                    scores[i, self.test_sets[u]] = 1.0
+                return scores
+
+        result = evaluate(LeakDetector(), split, on="test")
+        assert result.recall_at_20 == pytest.approx(1.0)

@@ -1,0 +1,39 @@
+"""Examples stay runnable: they parse, expose main(), and use real APIs."""
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestExamples:
+    def test_parses(self, path):
+        ast.parse(path.read_text())
+
+    def test_has_main(self, path):
+        tree = ast.parse(path.read_text())
+        funcs = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in funcs
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a usage docstring"
+
+    def test_imports_resolve(self, path):
+        """Every repro.* import in the example must exist in the package."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing"
+                    )
+
+
+def test_at_least_five_examples():
+    assert len(EXAMPLES) >= 5

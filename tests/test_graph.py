@@ -1,0 +1,109 @@
+"""BipartiteGraph propagation vs naive reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.data import InteractionDataset
+from repro.models import BipartiteGraph
+
+
+@pytest.fixture()
+def small_graph():
+    ds = InteractionDataset(
+        n_users=3,
+        n_items=4,
+        n_tags=1,
+        user_ids=np.array([0, 0, 1, 2, 2, 2]),
+        item_ids=np.array([0, 1, 1, 1, 2, 3]),
+        timestamps=np.zeros(6),
+        item_tags=np.zeros((4, 1)),
+    )
+    return ds, BipartiteGraph(ds)
+
+
+class TestPropagation:
+    def test_degrees(self, small_graph):
+        _, g = small_graph
+        np.testing.assert_array_equal(g.deg_users, [2, 1, 3])
+        np.testing.assert_array_equal(g.deg_items, [1, 3, 1, 1])
+
+    def test_mean_propagation_matches_naive(self, small_graph, rng):
+        ds, g = small_graph
+        ux = rng.normal(size=(3, 5))
+        vx = rng.normal(size=(4, 5))
+        new_u, new_v = g.propagate_mean(Tensor(ux), Tensor(vx))
+        # Naive: user 0 neighbours items {0,1}.
+        np.testing.assert_allclose(new_u.data[0], (vx[0] + vx[1]) / 2)
+        np.testing.assert_allclose(new_u.data[1], vx[1])
+        np.testing.assert_allclose(new_v.data[1], (ux[0] + ux[1] + ux[2]) / 3)
+
+    def test_sym_propagation_matches_naive(self, small_graph, rng):
+        ds, g = small_graph
+        ux = rng.normal(size=(3, 2))
+        vx = rng.normal(size=(4, 2))
+        new_u, new_v = g.propagate_sym(Tensor(ux), Tensor(vx))
+        expected_u0 = vx[0] / np.sqrt(2 * 1) + vx[1] / np.sqrt(2 * 3)
+        np.testing.assert_allclose(new_u.data[0], expected_u0)
+
+    def test_isolated_nodes_get_zeros(self, rng):
+        ds = InteractionDataset(
+            n_users=2,
+            n_items=2,
+            n_tags=1,
+            user_ids=np.array([0]),
+            item_ids=np.array([0]),
+            timestamps=np.zeros(1),
+            item_tags=np.zeros((2, 1)),
+        )
+        g = BipartiteGraph(ds)
+        new_u, new_v = g.propagate_mean(Tensor(rng.normal(size=(2, 3))), Tensor(rng.normal(size=(2, 3))))
+        np.testing.assert_array_equal(new_u.data[1], np.zeros(3))
+        np.testing.assert_array_equal(new_v.data[1], np.zeros(3))
+
+    def test_residual_gcn_zero_layers_identity(self, small_graph, rng):
+        _, g = small_graph
+        ux, vx = rng.normal(size=(3, 2)), rng.normal(size=(4, 2))
+        su, sv = g.residual_gcn(Tensor(ux), Tensor(vx), 0)
+        np.testing.assert_array_equal(su.data, ux)
+
+    def test_residual_gcn_one_layer_mean(self, small_graph, rng):
+        _, g = small_graph
+        ux, vx = rng.normal(size=(3, 2)), rng.normal(size=(4, 2))
+        su, sv = g.residual_gcn(Tensor(ux), Tensor(vx), 1, norm="mean")
+        agg_u, _ = g.propagate_mean(Tensor(ux), Tensor(vx))
+        np.testing.assert_allclose(su.data, ux + agg_u.data)
+
+    def test_residual_gcn_one_layer_sym_default(self, small_graph, rng):
+        _, g = small_graph
+        ux, vx = rng.normal(size=(3, 2)), rng.normal(size=(4, 2))
+        su, sv = g.residual_gcn(Tensor(ux), Tensor(vx), 1)
+        agg_u, _ = g.propagate_sym(Tensor(ux), Tensor(vx))
+        np.testing.assert_allclose(su.data, ux + agg_u.data)
+
+    def test_lightgcn_layer_mean(self, small_graph, rng):
+        _, g = small_graph
+        ux, vx = rng.normal(size=(3, 2)), rng.normal(size=(4, 2))
+        su, sv = g.lightgcn(Tensor(ux), Tensor(vx), 1)
+        pu, pv = g.propagate_sym(Tensor(ux), Tensor(vx))
+        np.testing.assert_allclose(su.data, (ux + pu.data) / 2)
+
+    def test_gradients_flow_through_gcn(self, small_graph, rng):
+        _, g = small_graph
+        ux, vx = rng.normal(size=(3, 2)), rng.normal(size=(4, 2))
+
+        def f(u, v):
+            su, sv = g.residual_gcn(u, v, 2)
+            return (su * su).sum() + (sv * sv).sum()
+
+        check_gradients(f, [ux, vx], atol=1e-5)
+
+    def test_gradients_flow_through_lightgcn(self, small_graph, rng):
+        _, g = small_graph
+        ux, vx = rng.normal(size=(3, 2)), rng.normal(size=(4, 2))
+
+        def f(u, v):
+            su, sv = g.lightgcn(u, v, 2)
+            return (su * su).sum() + (sv * sv).sum()
+
+        check_gradients(f, [ux, vx], atol=1e-5)

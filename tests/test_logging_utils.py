@@ -1,0 +1,26 @@
+"""Logging helper behaviour."""
+
+import logging
+
+from repro.utils import get_logger
+
+
+class TestGetLogger:
+    def test_returns_logger(self):
+        logger = get_logger("repro.test")
+        assert isinstance(logger, logging.Logger)
+
+    def test_same_name_same_instance(self):
+        assert get_logger("repro.x") is get_logger("repro.x")
+
+    def test_root_has_handler(self):
+        get_logger()
+        root = logging.getLogger("repro")
+        assert root.handlers
+
+    def test_no_duplicate_handlers_on_repeat(self):
+        get_logger()
+        before = len(logging.getLogger("repro").handlers)
+        get_logger()
+        after = len(logging.getLogger("repro").handlers)
+        assert before == after

@@ -1,0 +1,141 @@
+"""Klein-model midpoint and the inter-model diffeomorphisms (Eqs. 1–3, 9–11)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.manifolds import (
+    Lorentz,
+    PoincareBall,
+    einstein_midpoint,
+    einstein_midpoint_batch,
+    einstein_midpoint_np,
+    klein_to_poincare,
+    klein_to_poincare_np,
+    lorentz_factor,
+    lorentz_to_poincare,
+    lorentz_to_poincare_np,
+    poincare_to_klein,
+    poincare_to_klein_np,
+    poincare_to_lorentz,
+    poincare_to_lorentz_np,
+)
+
+ball = PoincareBall()
+lor = Lorentz()
+
+
+@pytest.fixture()
+def ball_points(rng):
+    return ball.proj(rng.normal(scale=0.3, size=(5, 3)))
+
+
+class TestDiffeomorphisms:
+    def test_poincare_lorentz_roundtrip(self, ball_points):
+        l = poincare_to_lorentz_np(ball_points)
+        np.testing.assert_allclose(lorentz_to_poincare_np(l), ball_points, atol=1e-12)
+
+    def test_poincare_to_lorentz_on_hyperboloid(self, ball_points):
+        l = poincare_to_lorentz_np(ball_points)
+        np.testing.assert_allclose(lor.inner_np(l, l), -1.0, atol=1e-9)
+
+    def test_poincare_klein_roundtrip(self, ball_points):
+        k = poincare_to_klein_np(ball_points)
+        np.testing.assert_allclose(klein_to_poincare_np(k), ball_points, atol=1e-12)
+
+    def test_klein_points_in_unit_ball(self, ball_points):
+        k = poincare_to_klein_np(ball_points)
+        assert (np.linalg.norm(k, axis=1) < 1.0).all()
+
+    def test_isometry_poincare_lorentz(self, ball_points):
+        """The maps preserve distances — the paper's justification for mixing models."""
+        d_p = ball.dist_np(ball_points[0], ball_points[1])
+        l = poincare_to_lorentz_np(ball_points[:2])
+        d_l = lor.dist_np(l[0], l[1])
+        np.testing.assert_allclose(d_p, d_l, atol=1e-9)
+
+    def test_origin_maps_to_origin(self):
+        zero = np.zeros((1, 3))
+        l = poincare_to_lorentz_np(zero)
+        np.testing.assert_allclose(l, [[1.0, 0.0, 0.0, 0.0]])
+        np.testing.assert_allclose(poincare_to_klein_np(zero), zero)
+
+    def test_tensor_versions_match_numpy(self, ball_points):
+        np.testing.assert_allclose(
+            poincare_to_lorentz(Tensor(ball_points)).data,
+            poincare_to_lorentz_np(ball_points),
+        )
+        np.testing.assert_allclose(
+            poincare_to_klein(Tensor(ball_points)).data, poincare_to_klein_np(ball_points)
+        )
+        k = poincare_to_klein_np(ball_points)
+        np.testing.assert_allclose(
+            klein_to_poincare(Tensor(k)).data, klein_to_poincare_np(k)
+        )
+        l = poincare_to_lorentz_np(ball_points)
+        np.testing.assert_allclose(
+            lorentz_to_poincare(Tensor(l)).data, lorentz_to_poincare_np(l)
+        )
+
+    def test_maps_gradcheck(self, rng):
+        p = ball.proj(rng.normal(scale=0.3, size=(3, 2)))
+        check_gradients(lambda x: poincare_to_lorentz(x).sum(), [p], atol=1e-4)
+        check_gradients(lambda x: poincare_to_klein(x).sum(), [p], atol=1e-4)
+        k = poincare_to_klein_np(p)
+        check_gradients(lambda x: klein_to_poincare(x).sum(), [k], atol=1e-4)
+
+
+class TestEinsteinMidpoint:
+    def test_lorentz_factor_at_origin(self):
+        g = lorentz_factor(Tensor(np.zeros((1, 3))))
+        np.testing.assert_allclose(g.data, [[1.0]])
+
+    def test_midpoint_of_identical_points(self, ball_points):
+        k = poincare_to_klein_np(ball_points[:1])
+        pts = np.repeat(k, 4, axis=0)
+        mid = einstein_midpoint(Tensor(pts), Tensor(np.ones(4)))
+        np.testing.assert_allclose(mid.data, k[0], atol=1e-12)
+
+    def test_midpoint_symmetric_pair_is_origin(self):
+        pts = np.array([[0.4, 0.0], [-0.4, 0.0]])
+        mid = einstein_midpoint(Tensor(pts), Tensor(np.ones(2)))
+        np.testing.assert_allclose(mid.data, [0.0, 0.0], atol=1e-12)
+
+    def test_zero_weight_points_ignored(self, ball_points):
+        k = poincare_to_klein_np(ball_points)
+        w = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        mid = einstein_midpoint(Tensor(k), Tensor(w))
+        np.testing.assert_allclose(mid.data, k[0], atol=1e-12)
+
+    def test_batch_matches_single(self, ball_points, rng):
+        k = poincare_to_klein_np(ball_points)
+        weights = np.abs(rng.normal(size=(3, 5))) + 0.1
+        batched = einstein_midpoint_batch(Tensor(k), Tensor(weights)).data
+        for i in range(3):
+            single = einstein_midpoint(Tensor(k), Tensor(weights[i])).data
+            np.testing.assert_allclose(batched[i], single, atol=1e-12)
+
+    def test_numpy_matches_tensor(self, ball_points, rng):
+        k = poincare_to_klein_np(ball_points)
+        w = np.abs(rng.normal(size=5)) + 0.1
+        np.testing.assert_allclose(
+            einstein_midpoint_np(k, w), einstein_midpoint(Tensor(k), Tensor(w)).data
+        )
+
+    def test_midpoint_inside_ball(self, rng):
+        pts = poincare_to_klein_np(ball.proj(rng.normal(scale=0.6, size=(20, 4))))
+        w = np.abs(rng.normal(size=20))
+        mid = einstein_midpoint_np(pts, w)
+        assert np.linalg.norm(mid) < 1.0
+
+    def test_batch_gradcheck(self, rng):
+        pts = poincare_to_klein_np(ball.proj(rng.normal(scale=0.3, size=(4, 2))))
+        w = np.abs(rng.normal(size=(2, 4))) + 0.1
+        check_gradients(
+            lambda p, q: (einstein_midpoint_batch(p, q) ** 2).sum(), [pts, w], atol=1e-4
+        )
+
+    def test_all_zero_weights_safe(self, ball_points):
+        k = poincare_to_klein_np(ball_points)
+        mid = einstein_midpoint(Tensor(k), Tensor(np.zeros(5)))
+        assert np.isfinite(mid.data).all()

@@ -1,0 +1,121 @@
+"""Lorentz hyperboloid: constraint, inner product, distances, origin maps."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.manifolds import Lorentz
+
+lor = Lorentz()
+
+
+@pytest.fixture()
+def points(rng):
+    return lor.random((6, 5), rng, scale=0.3)  # dim d=4 → 5 coords
+
+
+class TestConstraint:
+    def test_random_on_hyperboloid(self, points):
+        inner = lor.inner_np(points, points)
+        np.testing.assert_allclose(inner, -1.0, atol=1e-10)
+
+    def test_proj_restores_constraint(self, rng, points):
+        noisy = points + rng.normal(scale=0.1, size=points.shape)
+        fixed = lor.proj(noisy)
+        np.testing.assert_allclose(lor.inner_np(fixed, fixed), -1.0, atol=1e-10)
+
+    def test_time_coordinate_positive(self, points):
+        assert (points[:, 0] > 0).all()
+
+    def test_origin(self):
+        o = lor.origin(4)
+        assert o.shape == (5,)
+        np.testing.assert_allclose(lor.inner_np(o, o), -1.0)
+
+
+class TestInnerAndDistance:
+    def test_inner_signature(self):
+        x = np.array([1.0, 0.0, 0.0])
+        y = np.array([2.0, 1.0, 1.0])
+        assert lor.inner_np(x, y) == -2.0 + 0.0
+
+    def test_tensor_inner_matches_numpy(self, points):
+        a, b = points[:3], points[3:]
+        np.testing.assert_allclose(
+            Lorentz.inner(Tensor(a), Tensor(b)).data, lor.inner_np(a, b)
+        )
+
+    def test_self_distance_zero(self, points):
+        np.testing.assert_allclose(lor.dist_np(points, points), 0.0, atol=1e-6)
+
+    def test_distance_to_origin(self):
+        # d(o, x) = arccosh(x_0).
+        x = lor.proj(np.array([[0.0, 0.6, 0.0]]))
+        o = lor.origin(2)[None, :]
+        np.testing.assert_allclose(lor.dist_np(o, x)[0], np.arccosh(x[0, 0]))
+
+    def test_symmetry(self, points):
+        np.testing.assert_allclose(
+            lor.dist_np(points[:3], points[3:]), lor.dist_np(points[3:], points[:3])
+        )
+
+    def test_dist_gradcheck(self, rng):
+        x = lor.random((4, 4), rng, scale=0.3)
+        y = lor.random((4, 4), rng, scale=0.3)
+        check_gradients(lambda a, b: lor.dist(a, b).sum(), [x, y], atol=1e-4)
+
+    def test_sq_dist(self, points):
+        d = lor.dist(Tensor(points[:3]), Tensor(points[3:])).data
+        d2 = lor.sq_dist(Tensor(points[:3]), Tensor(points[3:])).data
+        np.testing.assert_allclose(d2, d * d)
+
+
+class TestOriginMaps:
+    def test_roundtrip(self, rng):
+        z = rng.normal(scale=0.5, size=(6, 4))
+        np.testing.assert_allclose(lor.logmap0_np(lor.expmap0_np(z)), z, atol=1e-9)
+
+    def test_expmap0_lands_on_hyperboloid(self, rng):
+        z = rng.normal(scale=0.8, size=(6, 4))
+        x = lor.expmap0_np(z)
+        np.testing.assert_allclose(lor.inner_np(x, x), -1.0, atol=1e-9)
+
+    def test_norm_preserved(self, rng):
+        # |log_o(x)| equals the geodesic distance from the origin.
+        z = rng.normal(scale=0.5, size=(4, 3))
+        x = lor.expmap0_np(z)
+        o = np.broadcast_to(lor.origin(3), x.shape)
+        np.testing.assert_allclose(
+            np.linalg.norm(z, axis=1), lor.dist_np(o, x), atol=1e-9
+        )
+
+    def test_tensor_maps_match_numpy(self, rng):
+        z = rng.normal(scale=0.5, size=(4, 3))
+        np.testing.assert_allclose(lor.expmap0(Tensor(z)).data, lor.expmap0_np(z))
+        x = lor.expmap0_np(z)
+        np.testing.assert_allclose(lor.logmap0(Tensor(x)).data, lor.logmap0_np(x))
+
+    def test_tensor_maps_gradcheck(self, rng):
+        z = rng.normal(scale=0.5, size=(3, 3))
+        check_gradients(lambda t: lor.expmap0(t).sum(), [z], atol=1e-4)
+        x = lor.expmap0_np(z)
+        check_gradients(lambda t: lor.logmap0(t).sum(), [x], atol=1e-4)
+
+
+class TestTangent:
+    def test_proj_tangent_orthogonal(self, rng, points):
+        v = rng.normal(size=points.shape)
+        tangent = lor.proj_tangent(points, v)
+        # Tangent vectors satisfy <x, v>_L = 0.
+        np.testing.assert_allclose(lor.inner_np(points, tangent), 0.0, atol=1e-9)
+
+    def test_egrad2rgrad_in_tangent(self, rng, points):
+        g = rng.normal(size=points.shape)
+        rgrad = lor.egrad2rgrad(points, g)
+        np.testing.assert_allclose(lor.inner_np(points, rgrad), 0.0, atol=1e-9)
+
+    def test_expmap_stays_on_manifold(self, rng, points):
+        g = rng.normal(scale=0.3, size=points.shape)
+        v = lor.egrad2rgrad(points, g)
+        out = lor.expmap_np(points, v)
+        np.testing.assert_allclose(lor.inner_np(out, out), -1.0, atol=1e-9)

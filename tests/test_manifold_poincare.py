@@ -1,0 +1,116 @@
+"""Poincaré ball: distances, Möbius algebra, maps, Riemannian gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.manifolds import PoincareBall
+
+ball = PoincareBall()
+
+
+@pytest.fixture()
+def points(rng):
+    return ball.proj(rng.normal(scale=0.3, size=(6, 4)))
+
+
+class TestProjection:
+    def test_inside_points_untouched(self, points):
+        np.testing.assert_array_equal(ball.proj(points), points)
+
+    def test_outside_points_pulled_in(self):
+        x = np.array([[2.0, 0.0]])
+        out = ball.proj(x)
+        assert np.linalg.norm(out) < 1.0
+
+    def test_random_inside_ball(self, rng):
+        pts = ball.random((100, 8), rng, scale=0.5)
+        assert (np.linalg.norm(pts, axis=1) < 1.0).all()
+
+
+class TestDistance:
+    def test_self_distance_zero(self, points):
+        np.testing.assert_allclose(ball.dist_np(points, points), 0.0, atol=1e-7)
+
+    def test_symmetry(self, points):
+        d1 = ball.dist_np(points[:3], points[3:])
+        d2 = ball.dist_np(points[3:], points[:3])
+        np.testing.assert_allclose(d1, d2)
+
+    def test_matches_closed_form(self, rng):
+        x = ball.proj(rng.normal(scale=0.3, size=3))
+        y = ball.proj(rng.normal(scale=0.3, size=3))
+        expected = np.arccosh(
+            1
+            + 2
+            * np.sum((x - y) ** 2)
+            / ((1 - np.sum(x**2)) * (1 - np.sum(y**2)))
+        )
+        np.testing.assert_allclose(ball.dist_np(x, y), expected)
+
+    def test_distance_grows_toward_boundary(self):
+        # Equal Euclidean steps near the boundary cover more hyperbolic distance.
+        a = ball.dist_np(np.array([0.0, 0.0]), np.array([0.1, 0.0]))
+        b = ball.dist_np(np.array([0.85, 0.0]), np.array([0.95, 0.0]))
+        assert b > a
+
+    def test_tensor_matches_numpy(self, points):
+        d_np = ball.dist_np(points[:3], points[3:])
+        d_t = ball.dist(Tensor(points[:3]), Tensor(points[3:])).data
+        np.testing.assert_allclose(d_t, d_np)
+
+    def test_dist_matrix(self, points):
+        m = ball.dist_matrix_np(points[:2], points[2:5])
+        assert m.shape == (2, 3)
+        np.testing.assert_allclose(m[0, 0], ball.dist_np(points[0], points[2]))
+
+    def test_dist_gradcheck(self, rng):
+        x = ball.proj(rng.normal(scale=0.3, size=(4, 3)))
+        y = ball.proj(rng.normal(scale=0.3, size=(4, 3)))
+        check_gradients(lambda a, b: ball.dist(a, b).sum(), [x, y], atol=1e-4)
+
+
+class TestMobius:
+    def test_identity_addition(self, points):
+        zero = np.zeros_like(points)
+        np.testing.assert_allclose(ball.mobius_add_np(zero, points), points, atol=1e-12)
+        np.testing.assert_allclose(ball.mobius_add_np(points, zero), points, atol=1e-12)
+
+    def test_left_inverse(self, points):
+        out = ball.mobius_add_np(-points, points)
+        np.testing.assert_allclose(out, 0.0, atol=1e-10)
+
+    def test_result_in_ball(self, rng):
+        x = ball.proj(rng.normal(scale=0.5, size=(50, 3)))
+        y = ball.proj(rng.normal(scale=0.5, size=(50, 3)))
+        out = ball.mobius_add_np(x, y)
+        assert (np.linalg.norm(out, axis=1) < 1.0 + 1e-9).all()
+
+
+class TestExpmap:
+    def test_zero_tangent_is_identity(self, points):
+        out = ball.expmap_np(points, np.zeros_like(points))
+        np.testing.assert_allclose(out, points, atol=1e-9)
+
+    def test_stays_in_ball(self, rng, points):
+        v = rng.normal(scale=5.0, size=points.shape)
+        out = ball.expmap_np(points, v)
+        assert (np.linalg.norm(out, axis=1) < 1.0).all()
+
+    def test_origin_maps_roundtrip(self, rng):
+        v = rng.normal(scale=0.4, size=(5, 3))
+        np.testing.assert_allclose(ball.logmap0_np(ball.expmap0_np(v)), v, atol=1e-9)
+
+
+class TestRiemannianGrad:
+    def test_scaling_factor(self, rng):
+        x = ball.proj(rng.normal(scale=0.3, size=(3, 2)))
+        g = rng.normal(size=(3, 2))
+        expected = ((1 - np.sum(x**2, axis=1, keepdims=True)) / 2) ** 2 * g
+        np.testing.assert_allclose(ball.egrad2rgrad(x, g), expected)
+
+    def test_vanishes_at_boundary(self):
+        x = ball.proj(np.array([[0.99999, 0.0]]))
+        g = np.ones((1, 2))
+        rgrad = ball.egrad2rgrad(x, g)
+        assert np.abs(rgrad).max() < 1e-4

@@ -1,0 +1,119 @@
+"""Hypothesis property tests on the geometry substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.manifolds import (
+    Euclidean,
+    Lorentz,
+    PoincareBall,
+    klein_to_poincare_np,
+    lorentz_to_poincare_np,
+    poincare_to_klein_np,
+    poincare_to_lorentz_np,
+)
+
+ball = PoincareBall()
+lor = Lorentz()
+euc = Euclidean()
+
+# Points sampled comfortably inside the ball so float64 stays accurate.
+coords = hnp.arrays(
+    np.float64,
+    shape=st.integers(2, 5).map(lambda d: (d,)),
+    elements=st.floats(-0.35, 0.35, allow_nan=False),
+)
+
+
+@st.composite
+def ball_pair(draw):
+    d = draw(st.integers(2, 5))
+    elt = st.floats(-0.35, 0.35, allow_nan=False)
+    x = draw(hnp.arrays(np.float64, (d,), elements=elt))
+    y = draw(hnp.arrays(np.float64, (d,), elements=elt))
+    return ball.proj(x), ball.proj(y)
+
+
+@st.composite
+def ball_triple(draw):
+    d = draw(st.integers(2, 4))
+    elt = st.floats(-0.35, 0.35, allow_nan=False)
+    pts = [
+        ball.proj(draw(hnp.arrays(np.float64, (d,), elements=elt))) for _ in range(3)
+    ]
+    return pts
+
+
+@settings(max_examples=60, deadline=None)
+@given(ball_pair())
+def test_poincare_distance_nonnegative_symmetric(xy):
+    x, y = xy
+    d_xy = ball.dist_np(x, y)
+    d_yx = ball.dist_np(y, x)
+    assert d_xy >= 0
+    np.testing.assert_allclose(d_xy, d_yx, atol=1e-10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ball_triple())
+def test_poincare_triangle_inequality(pts):
+    x, y, z = pts
+    assert ball.dist_np(x, z) <= ball.dist_np(x, y) + ball.dist_np(y, z) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(ball_pair())
+def test_isometry_across_models(xy):
+    """Poincaré, Lorentz (and Klein via Poincaré) agree on distances."""
+    x, y = xy
+    d_p = ball.dist_np(x, y)
+    d_l = lor.dist_np(poincare_to_lorentz_np(x), poincare_to_lorentz_np(y))
+    np.testing.assert_allclose(d_p, d_l, atol=1e-7)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coords)
+def test_klein_roundtrip(x):
+    p = ball.proj(x)
+    np.testing.assert_allclose(klein_to_poincare_np(poincare_to_klein_np(p)), p, atol=1e-10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coords)
+def test_lorentz_roundtrip(x):
+    p = ball.proj(x)
+    np.testing.assert_allclose(
+        lorentz_to_poincare_np(poincare_to_lorentz_np(p)), p, atol=1e-10
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(coords)
+def test_lorentz_expmap0_logmap0_roundtrip(v):
+    x = lor.expmap0_np(v)
+    np.testing.assert_allclose(lor.logmap0_np(x), v, atol=1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coords, coords)
+def test_mobius_addition_keeps_ball(x, y):
+    if x.shape != y.shape:
+        return
+    out = ball.mobius_add_np(ball.proj(x), ball.proj(y))
+    assert np.linalg.norm(out) < 1.0 + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(ball_pair())
+def test_euclidean_distance_is_l2(xy):
+    x, y = xy
+    np.testing.assert_allclose(euc.dist_np(x, y), np.linalg.norm(x - y), atol=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(coords)
+def test_projection_idempotent(x):
+    p = ball.proj(x * 5.0)  # possibly outside
+    np.testing.assert_allclose(ball.proj(p), p, atol=1e-12)

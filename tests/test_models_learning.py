@@ -1,0 +1,87 @@
+"""Learning-signal tests: key models must beat random ranking after training."""
+
+import numpy as np
+import pytest
+
+from repro.eval import evaluate
+from repro.models import TrainConfig, create_model
+
+
+class RandomModel:
+    def __init__(self, n_items, seed=0):
+        self.n_items = n_items
+        self.rng = np.random.default_rng(seed)
+
+    def score_users(self, users):
+        return self.rng.random((len(users), self.n_items))
+
+
+@pytest.fixture(scope="module")
+def random_score(tiny_split):
+    model = RandomModel(tiny_split.train.n_items)
+    return evaluate(model, tiny_split, on="test").mean()
+
+
+def _train_and_eval(name, tiny_split, **overrides):
+    defaults = dict(dim=16, tag_dim=4, epochs=30, batch_size=256, seed=0)
+    defaults.update(overrides)
+    config = TrainConfig(**defaults)
+    model = create_model(name, tiny_split.train, config)
+    model.fit(tiny_split)
+    return evaluate(model, tiny_split, on="test").mean()
+
+
+class TestBeatsRandom:
+    """One test per model family; tiny data, so thresholds are lenient."""
+
+    def test_bprmf(self, tiny_split, random_score):
+        assert _train_and_eval("BPRMF", tiny_split, lr=5e-3) > random_score
+
+    def test_nmf(self, tiny_split, random_score):
+        assert _train_and_eval("NMF", tiny_split, epochs=50) > random_score
+
+    def test_cml(self, tiny_split, random_score):
+        assert _train_and_eval("CML", tiny_split, lr=5e-3, margin=0.5) > random_score
+
+    def test_hyperml(self, tiny_split, random_score):
+        assert _train_and_eval("HyperML", tiny_split, lr=1.0, margin=2.0) > random_score
+
+    def test_lightgcn(self, tiny_split, random_score):
+        assert _train_and_eval("LightGCN", tiny_split, lr=5e-3, n_layers=2) > random_score
+
+    def test_hgcf(self, tiny_split, random_score):
+        assert (
+            _train_and_eval("HGCF", tiny_split, lr=1.0, margin=2.0, n_layers=1)
+            > random_score
+        )
+
+    def test_taxorec(self, tiny_split, random_score):
+        assert (
+            _train_and_eval(
+                "TaxoRec", tiny_split, lr=1.0, margin=2.0, n_layers=1, taxo_lambda=0.05
+            )
+            > random_score
+        )
+
+
+class TestTunedConfigs:
+    def test_tuned_config_known_models(self):
+        from repro.models.defaults import tuned_config
+
+        for name in ("TaxoRec", "BPRMF", "HGCF"):
+            config = tuned_config(name, "ciao")
+            assert config.dim == 64
+            assert config.batch_size == 1024
+
+    def test_tuned_config_override(self):
+        from repro.models.defaults import tuned_config
+
+        config = tuned_config("TaxoRec", "yelp", epochs=7, margin=9.0)
+        assert config.epochs == 7
+        assert config.margin == 9.0
+
+    def test_tuned_config_unknown_model_uses_base(self):
+        from repro.models.defaults import tuned_config
+
+        config = tuned_config("SomethingElse")
+        assert config.batch_size == 1024

@@ -1,0 +1,90 @@
+"""Every registered model: constructs, trains briefly, scores sanely."""
+
+import numpy as np
+import pytest
+
+from repro.models import ALL_NAMES, MODEL_REGISTRY, TrainConfig, create_model
+
+SMOKE_CONFIG = dict(dim=16, tag_dim=4, epochs=2, batch_size=256, lr=1e-2)
+
+
+@pytest.fixture(scope="module", params=sorted(MODEL_REGISTRY))
+def fitted(request, tiny_split):
+    name = request.param
+    config = TrainConfig(seed=0, **SMOKE_CONFIG)
+    model = create_model(name, tiny_split.train, config)
+    model.fit(tiny_split)
+    return name, model, tiny_split
+
+
+class TestAllModels:
+    def test_loss_history_recorded(self, fitted):
+        name, model, _ = fitted
+        if name in ("Popularity", "Random", "ItemKNN"):
+            pytest.skip("trivial models do not train")
+        assert len(model.history) >= 1
+
+    def test_scores_shape_and_finite(self, fitted):
+        name, model, split = fitted
+        users = np.array([0, 3, 5])
+        scores = model.score_users(users)
+        assert scores.shape == (3, split.train.n_items)
+        assert np.isfinite(scores).all()
+
+    def test_scores_not_constant(self, fitted):
+        name, model, _ = fitted
+        scores = model.score_users(np.array([0, 1]))
+        assert scores.std() > 0
+
+    def test_deterministic_scoring(self, fitted):
+        name, model, _ = fitted
+        if name == "Random":
+            pytest.skip("Random draws fresh scores by design")
+        a = model.score_users(np.array([2]))
+        b = model.score_users(np.array([2]))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRegistry:
+    def test_all_fifteen_present(self):
+        assert len(ALL_NAMES) == 15
+        assert "TaxoRec" in ALL_NAMES
+
+    def test_ablation_aliases_present(self):
+        for alias in ("CML+Agg", "Hyper+CML", "Hyper+CML+Agg"):
+            assert alias in MODEL_REGISTRY
+
+    def test_unknown_name_raises(self, tiny_split):
+        with pytest.raises(KeyError):
+            create_model("SVD++", tiny_split.train)
+
+    def test_create_uses_default_config(self, tiny_split):
+        model = create_model("BPRMF", tiny_split.train)
+        assert model.config.dim == 64
+
+
+class TestTrainingLoop:
+    def test_loss_decreases_for_bprmf(self, tiny_split):
+        config = TrainConfig(dim=16, epochs=15, batch_size=256, lr=5e-3, seed=0)
+        model = create_model("BPRMF", tiny_split.train, config)
+        model.fit(tiny_split)
+        losses = [h["loss"] for h in model.history]
+        assert losses[-1] < losses[0]
+
+    def test_early_stopping_restores_best(self, tiny_split):
+        config = TrainConfig(
+            dim=16, epochs=40, batch_size=256, lr=5e-3, seed=0, eval_every=2, patience=1
+        )
+        model = create_model("BPRMF", tiny_split.train, config)
+        model.fit(tiny_split)
+        # Stopped before the epoch cap.
+        assert len(model.history) <= 40
+
+    def test_determinism_same_seed(self, tiny_split):
+        results = []
+        for _ in range(2):
+            config = TrainConfig(dim=8, epochs=3, batch_size=256, lr=1e-2, seed=9)
+            model = create_model("CML", tiny_split.train, config)
+            model.fit(tiny_split)
+            results.append(model.score_users(np.array([0])))
+        np.testing.assert_array_equal(results[0], results[1])

@@ -1,0 +1,70 @@
+"""Hypothesis property tests on the optimisers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Parameter, Tensor
+from repro.manifolds import Lorentz, PoincareBall
+from repro.optim import SGD, Adam, RiemannianSGD
+
+coords2 = st.tuples(st.floats(-0.5, 0.5), st.floats(-0.5, 0.5))
+
+
+@settings(max_examples=25, deadline=None)
+@given(coords2, st.floats(0.01, 0.3))
+def test_sgd_step_reduces_convex_loss(start, lr):
+    p = Parameter(np.array(start))
+    opt = SGD([p], lr=lr)
+    opt.zero_grad()
+    loss_before = float(((p - Tensor(np.zeros(2))) ** 2).sum().item())
+    ((p - Tensor(np.zeros(2))) ** 2).sum().backward()
+    opt.step()
+    loss_after = float(np.sum(p.data**2))
+    assert loss_after <= loss_before + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(coords2, st.floats(0.05, 1.0))
+def test_poincare_rsgd_stays_in_ball(start, lr):
+    ball = PoincareBall()
+    p = Parameter(ball.proj(np.array([list(start)])), manifold=ball)
+    target = Tensor(ball.proj(np.array([[0.4, -0.2]])))
+    opt = RiemannianSGD([p], lr=lr)
+    for _ in range(10):
+        opt.zero_grad()
+        (ball.dist(p, target) ** 2).sum().backward()
+        opt.step()
+        assert np.linalg.norm(p.data) < 1.0
+        assert np.isfinite(p.data).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(coords2, st.floats(0.05, 1.0))
+def test_lorentz_rsgd_stays_on_manifold(start, lr):
+    lor = Lorentz()
+    p = Parameter(lor.proj(np.array([[0.0, start[0], start[1]]])), manifold=lor)
+    target = Tensor(lor.proj(np.array([[0.0, -0.3, 0.2]])))
+    opt = RiemannianSGD([p], lr=lr)
+    for _ in range(10):
+        opt.zero_grad()
+        lor.sq_dist(p, target).sum().backward()
+        opt.step()
+        inner = lor.inner_np(p.data, p.data)[0]
+        assert abs(inner + 1.0) < 1e-6 * max(float(p.data[0, 0] ** 2), 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(0.001, 0.2))
+def test_adam_invariant_to_gradient_scale(lr):
+    """Adam's per-coordinate normalisation makes the first step ≈ lr
+    regardless of gradient magnitude."""
+    steps = []
+    for scale in (1.0, 1e4):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=lr)
+        opt.zero_grad()
+        (p * scale).sum().backward()
+        opt.step()
+        steps.append(p.data.copy())
+    np.testing.assert_allclose(steps[0], steps[1], rtol=1e-3)

@@ -1,0 +1,50 @@
+"""Experiment protocol runner."""
+
+import numpy as np
+import pytest
+
+from repro.eval import EvalResult, ExperimentResult, run_experiment, run_model
+from repro.models import TrainConfig
+
+
+class TestExperimentResult:
+    def make(self, values):
+        result = ExperimentResult(model="M", dataset="D")
+        for v in values:
+            result.per_seed.append(
+                EvalResult(recall_at_10=v, recall_at_20=v, ndcg_at_10=v, ndcg_at_20=v)
+            )
+        return result
+
+    def test_mean_std(self):
+        r = self.make([0.1, 0.3])
+        assert r.mean("recall_at_10") == pytest.approx(0.2)
+        assert r.std("recall_at_10") == pytest.approx(0.1)
+
+    def test_cell_single_seed_no_pm(self):
+        assert "±" not in self.make([0.1]).cell("recall_at_10")
+
+    def test_cell_multi_seed_has_pm(self):
+        assert "±" in self.make([0.1, 0.2]).cell("recall_at_10")
+
+    def test_as_row_length(self):
+        assert len(self.make([0.1]).as_row()) == 5
+
+    def test_values_vector(self):
+        np.testing.assert_allclose(self.make([0.1, 0.4]).values("ndcg_at_20"), [0.1, 0.4])
+
+
+class TestRunners:
+    def test_run_model(self, tiny_split):
+        config = TrainConfig(dim=8, epochs=2, batch_size=256, seed=0)
+        result = run_model("BPRMF", tiny_split, config)
+        assert isinstance(result, EvalResult)
+        assert 0.0 <= result.recall_at_10 <= 1.0
+
+    def test_run_experiment_end_to_end(self):
+        result = run_experiment(
+            "BPRMF", "ciao", seeds=(0,), scale=0.1, epochs=2, batch_size=256, dim=8
+        )
+        assert result.model == "BPRMF"
+        assert len(result.per_seed) == 1
+        assert result.overall_mean() >= 0.0

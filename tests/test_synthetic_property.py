@@ -1,0 +1,74 @@
+"""Hypothesis property tests on the synthetic generator and splits."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import SyntheticConfig, generate, temporal_split
+
+
+@st.composite
+def configs(draw):
+    depth = draw(st.integers(1, 3))
+    branching = tuple(draw(st.integers(2, 3)) for _ in range(depth))
+    return SyntheticConfig(
+        n_users=draw(st.integers(15, 40)),
+        n_items=draw(st.integers(30, 80)),
+        branching=branching,
+        mean_interactions=float(draw(st.integers(10, 20))),
+        ancestor_keep_prob=draw(st.floats(0.0, 1.0)),
+        noise_tag_prob=draw(st.floats(0.0, 0.5)),
+        untagged_item_prob=draw(st.floats(0.0, 0.3)),
+        tag_affinity=draw(st.floats(0.2, 0.8)),
+        cold_item_frac=draw(st.floats(0.0, 0.3)),
+        drift=draw(st.floats(0.0, 1.0)),
+        seed=draw(st.integers(0, 10_000)),
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(configs())
+def test_generator_invariants(config):
+    ds = generate(config)
+    # Entity ranges hold (the dataset constructor also validates these).
+    assert ds.n_tags == sum(
+        int(np.prod(config.branching[: i + 1])) for i in range(len(config.branching))
+    )
+    # No user-item duplicates.
+    pairs = set(zip(ds.user_ids.tolist(), ds.item_ids.tolist()))
+    assert len(pairs) == ds.n_interactions
+    # Every user has at least the minimum history for the temporal protocol.
+    counts = np.bincount(ds.user_ids, minlength=ds.n_users)
+    assert counts.min() >= 10
+    # Tag matrix is binary.
+    assert set(np.unique(ds.item_tags)) <= {0.0, 1.0}
+    # Planted parent array is a valid forest (no self/forward loops).
+    for t, p in enumerate(ds.tag_parent):
+        assert p == -1 or (0 <= p < t)
+
+
+@settings(max_examples=8, deadline=None)
+@given(configs())
+def test_split_is_partition_and_ordered(config):
+    ds = generate(config)
+    split = temporal_split(ds)
+    assert (
+        split.train.n_interactions
+        + split.valid.n_interactions
+        + split.test.n_interactions
+        == ds.n_interactions
+    )
+    # Train timestamps precede test timestamps within each user.
+    last_train = {}
+    for u, t in zip(split.train.user_ids, split.train.timestamps):
+        last_train[int(u)] = max(last_train.get(int(u), -np.inf), t)
+    for u, t in zip(split.test.user_ids, split.test.timestamps):
+        assert t >= last_train[int(u)]
+
+
+@settings(max_examples=8, deadline=None)
+@given(configs())
+def test_generator_deterministic(config):
+    a, b = generate(config), generate(config)
+    np.testing.assert_array_equal(a.item_ids, b.item_ids)
+    np.testing.assert_array_equal(a.item_tags, b.item_tags)

@@ -1,0 +1,104 @@
+"""Recursive taxonomy construction and the Taxonomy tree structure."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate
+from repro.manifolds import PoincareBall
+from repro.taxonomy import Taxonomy, TaxonomyNode, build_taxonomy
+
+ball = PoincareBall()
+
+
+@pytest.fixture(scope="module")
+def built():
+    ds = generate(SyntheticConfig(n_users=60, n_items=120, branching=(3, 3), seed=9))
+    rng = np.random.default_rng(0)
+    emb = ball.random((ds.n_tags, 8), rng, scale=0.3)
+    taxo = build_taxonomy(emb, ds.item_tags, k=3, delta=0.4, max_depth=3, rng=0)
+    return ds, taxo
+
+
+class TestBuildTaxonomy:
+    def test_root_holds_all_tags(self, built):
+        ds, taxo = built
+        assert len(taxo.root.members) == ds.n_tags
+
+    def test_every_tag_reachable(self, built):
+        ds, taxo = built
+        seen = set()
+        for node in taxo.nodes():
+            seen.update(int(t) for t in node.members)
+        assert seen == set(range(ds.n_tags))
+
+    def test_children_partition_descending_tags(self, built):
+        _, taxo = built
+        for node in taxo.nodes():
+            if node.is_leaf:
+                continue
+            child_tags: list[int] = []
+            for child in node.children:
+                child_tags.extend(int(t) for t in child.members)
+            # Children are disjoint.
+            assert len(child_tags) == len(set(child_tags))
+            # general + children cover the node.
+            covered = set(child_tags) | {int(t) for t in node.general_tags}
+            assert covered == {int(t) for t in node.members}
+
+    def test_levels_increase_down_the_tree(self, built):
+        _, taxo = built
+        for node in taxo.nodes():
+            for child in node.children:
+                assert child.level == node.level + 1
+
+    def test_max_depth_respected(self, built):
+        _, taxo = built
+        assert taxo.depth <= 3
+
+    def test_scores_attached(self, built):
+        _, taxo = built
+        for node in taxo.nodes():
+            assert len(node.scores) == len(node.members)
+
+    def test_deterministic(self, built):
+        ds, _ = built
+        rng = np.random.default_rng(0)
+        emb = ball.random((ds.n_tags, 8), rng, scale=0.3)
+        t1 = build_taxonomy(emb, ds.item_tags, k=3, delta=0.4, rng=0)
+        t2 = build_taxonomy(emb, ds.item_tags, k=3, delta=0.4, rng=0)
+        assert t1.render() == t2.render()
+
+
+class TestTaxonomyStructure:
+    def test_node_count(self, built):
+        _, taxo = built
+        assert taxo.n_nodes == sum(1 for _ in taxo.nodes())
+
+    def test_level_partition(self, built):
+        _, taxo = built
+        level1 = taxo.level_partition(1)
+        levels = [node.level for node in taxo.nodes()]
+        assert len(level1) == levels.count(1)
+
+    def test_tag_level_bounds(self, built):
+        ds, taxo = built
+        levels = taxo.tag_level()
+        assert levels.shape == (ds.n_tags,)
+        assert levels.min() >= 0 and levels.max() <= taxo.depth
+
+    def test_ancestor_pairs_are_cross_level(self, built):
+        _, taxo = built
+        pairs = taxo.ancestor_pairs()
+        for anc, desc in pairs:
+            assert anc != desc
+
+    def test_render_contains_levels(self, built):
+        ds, taxo = built
+        text = taxo.render(tag_names=ds.tag_names)
+        assert "level-0" in text
+
+    def test_single_node_taxonomy(self):
+        node = TaxonomyNode(members=np.array([0, 1]), general_tags=np.array([0, 1]))
+        taxo = Taxonomy(node, n_tags=2)
+        assert taxo.depth == 0
+        assert taxo.ancestor_pairs() == set()

@@ -1,0 +1,120 @@
+"""Poincaré k-means and the adaptive clustering (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.manifolds import PoincareBall
+from repro.taxonomy import adaptive_cluster, poincare_kmeans
+
+ball = PoincareBall()
+
+
+def two_blobs(rng, n=20, sep=0.5):
+    a = ball.proj(rng.normal(0.0, 0.05, size=(n, 2)) + np.array([sep, 0.0]))
+    b = ball.proj(rng.normal(0.0, 0.05, size=(n, 2)) + np.array([-sep, 0.0]))
+    return np.concatenate([a, b])
+
+
+class TestPoincareKMeans:
+    def test_separable_blobs_recovered(self, rng):
+        pts = two_blobs(rng)
+        labels, centroids = poincare_kmeans(pts, 2, rng=0)
+        assert len(set(labels[:20].tolist())) == 1
+        assert len(set(labels[20:].tolist())) == 1
+        assert labels[0] != labels[-1]
+
+    def test_centroids_inside_ball(self, rng):
+        pts = two_blobs(rng)
+        _, centroids = poincare_kmeans(pts, 2, rng=0)
+        assert (np.linalg.norm(centroids, axis=1) < 1.0).all()
+
+    def test_k_clamped_to_n(self, rng):
+        pts = ball.proj(rng.normal(scale=0.2, size=(2, 3)))
+        labels, centroids = poincare_kmeans(pts, 5, rng=0)
+        assert centroids.shape[0] == 2
+
+    def test_empty_input(self):
+        labels, centroids = poincare_kmeans(np.zeros((0, 3)), 2)
+        assert len(labels) == 0
+
+    def test_deterministic_with_seed(self, rng):
+        pts = two_blobs(rng)
+        l1, _ = poincare_kmeans(pts, 2, rng=3)
+        l2, _ = poincare_kmeans(pts, 2, rng=3)
+        np.testing.assert_array_equal(l1, l2)
+
+    def test_all_points_assigned(self, rng):
+        pts = two_blobs(rng, n=15)
+        labels, _ = poincare_kmeans(pts, 3, rng=0)
+        assert len(labels) == 30
+        assert labels.min() >= 0 and labels.max() < 3
+
+
+class TestAdaptiveCluster:
+    @pytest.fixture()
+    def planted(self, rng):
+        """Two tag groups + one general tag that co-occurs with everything."""
+        n_items = 60
+        item_tags = np.zeros((n_items, 5))
+        item_tags[:, 0] = 1.0  # general tag on every item
+        item_tags[:30, 1] = 1.0
+        item_tags[:30, 2] = (rng.random(30) > 0.5).astype(float)
+        item_tags[30:, 3] = 1.0
+        item_tags[30:, 4] = (rng.random(30) > 0.5).astype(float)
+        emb = np.zeros((5, 2))
+        emb[0] = [0.0, 0.01]
+        emb[1] = [0.5, 0.1]
+        emb[2] = [0.55, 0.05]
+        emb[3] = [-0.5, -0.1]
+        emb[4] = [-0.55, -0.05]
+        return ball.proj(emb), item_tags
+
+    def test_general_tag_scores_below_specifics(self, planted):
+        """The ubiquitous tag is the least representative of its group."""
+        from repro.taxonomy import poincare_kmeans, score_tags
+
+        emb, item_tags = planted
+        labels, _ = poincare_kmeans(emb, 2, rng=0)
+        groups = [np.arange(5)[labels == c] for c in range(2)]
+        scores = score_tags(item_tags, groups)
+        for group, group_scores in zip(groups, scores):
+            if 0 in group:
+                general_score = group_scores[list(group).index(0)]
+                others = [s for t, s in zip(group, group_scores) if t != 0]
+                assert general_score < min(others)
+
+    def test_general_tag_pushed_up(self, planted):
+        """With δ between the general and specific scores, tag 0 is pushed."""
+        emb, item_tags = planted
+        groups, scores, pushed = adaptive_cluster(
+            np.arange(5), emb, item_tags, k=2, delta=0.63, rng=0
+        )
+        assert 0 in pushed.tolist()
+
+    def test_specific_tags_stay_grouped(self, planted):
+        emb, item_tags = planted
+        groups, _, _ = adaptive_cluster(np.arange(5), emb, item_tags, k=2, delta=0.3, rng=0)
+        flat = [set(g.tolist()) for g in groups]
+        assert any({1, 2} <= g for g in flat)
+        assert any({3, 4} <= g for g in flat)
+
+    def test_scores_aligned_with_groups(self, planted):
+        emb, item_tags = planted
+        groups, scores, _ = adaptive_cluster(np.arange(5), emb, item_tags, k=2, delta=0.3, rng=0)
+        assert [len(g) for g in groups] == [len(s) for s in scores]
+
+    def test_small_subset_short_circuits(self, planted):
+        emb, item_tags = planted
+        groups, scores, pushed = adaptive_cluster(
+            np.array([1]), emb, item_tags, k=3, delta=0.3, rng=0
+        )
+        assert len(pushed) == 0
+        assert [g.tolist() for g in groups] == [[1]]
+
+    def test_extreme_delta_pushes_everything(self, planted):
+        emb, item_tags = planted
+        groups, _, pushed = adaptive_cluster(
+            np.arange(5), emb, item_tags, k=2, delta=1.1, rng=0
+        )
+        assert len(pushed) == 5
+        assert all(len(g) == 0 for g in groups) or len(groups) == 0

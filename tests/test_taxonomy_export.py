@@ -1,0 +1,71 @@
+"""Taxonomy export: JSON round trips and networkx conversion."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.taxonomy import (
+    Taxonomy,
+    TaxonomyNode,
+    from_dict,
+    load_json,
+    save_json,
+    to_dict,
+    to_networkx,
+)
+
+
+@pytest.fixture()
+def taxo():
+    child_a = TaxonomyNode(members=np.array([1, 2]), scores=np.array([0.5, 0.6]), level=1)
+    child_b = TaxonomyNode(members=np.array([3, 4]), scores=np.array([0.7, 0.8]), level=1)
+    root = TaxonomyNode(
+        members=np.arange(5),
+        general_tags=np.array([0]),
+        scores=np.ones(5),
+        level=0,
+        children=[child_a, child_b],
+    )
+    return Taxonomy(root, n_tags=5)
+
+
+class TestJsonRoundTrip:
+    def test_dict_roundtrip(self, taxo):
+        rebuilt = from_dict(to_dict(taxo))
+        assert rebuilt.n_tags == 5
+        assert rebuilt.render() == taxo.render()
+
+    def test_file_roundtrip(self, taxo, tmp_path):
+        path = tmp_path / "taxo.json"
+        save_json(taxo, path)
+        rebuilt = load_json(path)
+        assert rebuilt.ancestor_pairs() == taxo.ancestor_pairs()
+
+    def test_tag_names_embedded(self, taxo):
+        names = [f"t{i}" for i in range(5)]
+        data = to_dict(taxo, tag_names=names)
+        assert data["root"]["general_names"] == ["t0"]
+
+    def test_scores_preserved(self, taxo):
+        rebuilt = from_dict(to_dict(taxo))
+        child = rebuilt.root.children[0]
+        np.testing.assert_allclose(child.scores, [0.5, 0.6])
+
+
+class TestNetworkx:
+    def test_structure(self, taxo):
+        graph = to_networkx(taxo)
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+        assert nx.is_arborescence(graph)
+
+    def test_node_attributes(self, taxo):
+        graph = to_networkx(taxo, tag_names=[f"t{i}" for i in range(5)])
+        root = [n for n, d in graph.in_degree() if d == 0][0]
+        assert graph.nodes[root]["size"] == 5
+        assert graph.nodes[root]["general"] == ["t0"]
+
+    def test_levels_monotone_along_edges(self, taxo):
+        graph = to_networkx(taxo)
+        for a, b in graph.edges:
+            assert graph.nodes[b]["level"] == graph.nodes[a]["level"] + 1

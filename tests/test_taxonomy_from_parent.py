@@ -1,0 +1,55 @@
+"""Taxonomy.from_parent_array — the existing-taxonomy extension."""
+
+import numpy as np
+import pytest
+
+from repro.taxonomy import Taxonomy, ancestor_pairs_from_parent, evaluate_recovery
+
+
+@pytest.fixture()
+def parent():
+    # 0, 1 top level; 2,3 under 0; 4 under 1; 5 under 2.
+    return np.array([-1, -1, 0, 0, 1, 2])
+
+
+class TestFromParentArray:
+    def test_root_members_all(self, parent):
+        taxo = Taxonomy.from_parent_array(parent)
+        np.testing.assert_array_equal(np.sort(taxo.root.members), np.arange(6))
+
+    def test_depth_matches(self, parent):
+        taxo = Taxonomy.from_parent_array(parent)
+        assert taxo.depth == 3  # root(0) → top(1) → child(2) → grandchild(3)
+
+    def test_ancestor_pairs_match_truth(self, parent):
+        taxo = Taxonomy.from_parent_array(parent)
+        assert taxo.ancestor_pairs() == ancestor_pairs_from_parent(parent)
+
+    def test_perfect_recovery_score(self, parent):
+        taxo = Taxonomy.from_parent_array(parent)
+        report = evaluate_recovery(taxo, parent)
+        assert report.ancestor_f1 == pytest.approx(1.0)
+
+    def test_each_node_retains_own_tag_as_general(self, parent):
+        taxo = Taxonomy.from_parent_array(parent)
+        for node in taxo.nodes():
+            if node.level == 0:
+                continue
+            assert len(node.general_tags) == 1
+            assert node.general_tags[0] in node.members
+
+    def test_flat_parent_array(self):
+        taxo = Taxonomy.from_parent_array(np.array([-1, -1, -1]))
+        assert taxo.depth == 1
+        assert taxo.ancestor_pairs() == set()
+
+
+class TestFixedTaxonomyInTaxoRec:
+    def test_fixed_taxonomy_used_and_not_rebuilt(self, tiny_split):
+        from repro.models import TaxoRec, TrainConfig
+
+        oracle = Taxonomy.from_parent_array(tiny_split.train.tag_parent)
+        config = TrainConfig(dim=16, tag_dim=4, epochs=3, batch_size=256, lr=0.5, seed=0)
+        model = TaxoRec(tiny_split.train, config, fixed_taxonomy=oracle)
+        model.fit(tiny_split)
+        assert model.taxonomy is oracle

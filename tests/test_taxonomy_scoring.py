@@ -1,0 +1,81 @@
+"""Representation-aware scoring (Eqs. 4–7)."""
+
+import numpy as np
+import pytest
+
+from repro.taxonomy import bm25_rank, group_item_sets, score_tags
+
+
+@pytest.fixture()
+def item_tags():
+    # 30 items × 5 tags. Tag 0 is "general" (appears everywhere); tags 1-2
+    # concentrate on the first half, tags 3-4 on the second half.
+    rng = np.random.default_rng(0)
+    tags = np.zeros((30, 5))
+    tags[:, 0] = 1.0
+    tags[:15, 1] = 1.0
+    tags[:15, 2] = (rng.random(15) > 0.4).astype(float)
+    tags[15:, 3] = 1.0
+    tags[15:, 4] = (rng.random(15) > 0.4).astype(float)
+    return tags
+
+
+class TestGroupItemSets:
+    def test_items_with_any_group_tag(self, item_tags):
+        sets = group_item_sets(item_tags, [np.array([1, 2]), np.array([3, 4])])
+        np.testing.assert_array_equal(sets[0], np.arange(15))
+        np.testing.assert_array_equal(sets[1], np.arange(15, 30))
+
+    def test_empty_group(self, item_tags):
+        sets = group_item_sets(item_tags, [np.array([], dtype=int)])
+        assert len(sets[0]) == 0
+
+    def test_overlapping_groups_allowed(self, item_tags):
+        sets = group_item_sets(item_tags, [np.array([0])])
+        np.testing.assert_array_equal(sets[0], np.arange(30))
+
+
+class TestBM25:
+    def test_zero_for_empty_item_set(self, item_tags):
+        out = bm25_rank(item_tags, np.array([0, 1]), np.array([], dtype=int))
+        np.testing.assert_array_equal(out, [0.0, 0.0])
+
+    def test_concentrated_tag_ranks_higher_in_own_group(self, item_tags):
+        # Tag 1 lives on the first half: its rank there must exceed its
+        # (zero) rank on the second half's items — the contrast Eq. 5's
+        # structure factor is built on.
+        own = bm25_rank(item_tags, np.array([1]), np.arange(15))[0]
+        other = bm25_rank(item_tags, np.array([1]), np.arange(15, 30))[0]
+        assert own > other
+        assert other == 0.0
+
+    def test_absent_tag_scores_zero(self, item_tags):
+        out = bm25_rank(item_tags, np.array([3]), np.arange(15))
+        assert out[0] == 0.0
+
+
+class TestScoreTags:
+    def test_scores_in_unit_interval(self, item_tags):
+        groups = [np.array([0, 1, 2]), np.array([3, 4])]
+        scores = score_tags(item_tags, groups)
+        for s in scores:
+            assert (s >= 0).all() and (s <= 1.0 + 1e-9).all()
+
+    def test_general_tag_scores_below_specific(self, item_tags):
+        groups = [np.array([0, 1, 2]), np.array([3, 4])]
+        scores = score_tags(item_tags, groups)
+        # Tag 0 sits in group 0 but also covers group 1's items: its
+        # structure factor must be diluted below the concentrated tags.
+        s_general = scores[0][0]
+        s_specific = scores[0][1]
+        assert s_general < s_specific
+
+    def test_empty_group_scores_empty(self, item_tags):
+        scores = score_tags(item_tags, [np.array([], dtype=int), np.array([1])])
+        assert len(scores[0]) == 0
+        assert len(scores[1]) == 1
+
+    def test_aligned_with_groups(self, item_tags):
+        groups = [np.array([1, 2]), np.array([3, 4])]
+        scores = score_tags(item_tags, groups)
+        assert [len(s) for s in scores] == [2, 2]

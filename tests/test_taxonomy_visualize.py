@@ -1,0 +1,50 @@
+"""SVG rendering of Poincaré-disc embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.taxonomy import poincare_disc_svg, save_svg
+
+
+class TestPoincareDiscSvg:
+    def test_valid_svg_document(self):
+        pts = np.array([[0.1, 0.2], [-0.3, 0.4]])
+        svg = poincare_disc_svg(pts)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<circle") == 3  # disc + 2 points
+
+    def test_edges_drawn(self):
+        pts = np.array([[0.1, 0.2], [-0.3, 0.4]])
+        svg = poincare_disc_svg(pts, edges=[(0, 1)])
+        assert "<line" in svg
+
+    def test_labels_color_points(self):
+        pts = np.array([[0.1, 0.0], [0.2, 0.0]])
+        svg = poincare_disc_svg(pts, labels=np.array([0, 1]))
+        assert "#4e79a7" in svg and "#f28e2b" in svg
+
+    def test_names_become_titles(self):
+        svg = poincare_disc_svg(np.array([[0.0, 0.0]]), names=["sushi"])
+        assert "<title>sushi</title>" in svg
+
+    def test_rejects_points_outside_disc(self):
+        with pytest.raises(ValueError):
+            poincare_disc_svg(np.array([[1.5, 0.0]]))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            poincare_disc_svg(np.zeros((3, 3)))
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "disc.svg"
+        save_svg(poincare_disc_svg(np.array([[0.0, 0.0]])), path)
+        assert path.read_text().startswith("<svg")
+
+    def test_coordinates_inside_canvas(self):
+        pts = np.array([[0.9, 0.0], [-0.9, 0.0], [0.0, 0.9]])
+        svg = poincare_disc_svg(pts, size=200)
+        import re
+
+        for cx in re.findall(r'cx="([\d.]+)"', svg):
+            assert 0 <= float(cx) <= 200

@@ -1,0 +1,166 @@
+"""TaxoRec-specific behaviour: α_u, ablation flags, taxonomy alternation."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+from repro.models import TaxoRec, TrainConfig, personalized_tag_weights
+
+CFG = dict(dim=16, tag_dim=4, epochs=2, batch_size=256, lr=0.5)
+
+
+class TestPersonalizedAlpha:
+    def make(self, item_tags, user_ids, item_ids):
+        n_items, n_tags = item_tags.shape
+        return InteractionDataset(
+            n_users=int(user_ids.max()) + 1,
+            n_items=n_items,
+            n_tags=n_tags,
+            user_ids=user_ids,
+            item_ids=item_ids,
+            timestamps=np.arange(len(user_ids), dtype=float),
+            item_tags=item_tags,
+        )
+
+    def test_repeated_tags_give_alpha_one(self):
+        """All items share one tag → perfectly consistent → α = 1 (Eq. 16)."""
+        tags = np.array([[1.0], [1.0], [1.0]])
+        ds = self.make(tags, np.zeros(3, dtype=int), np.arange(3))
+        assert personalized_tag_weights(ds)[0] == pytest.approx(1.0)
+
+    def test_disjoint_tags_give_one_over_n(self):
+        tags = np.eye(3)
+        ds = self.make(tags, np.zeros(3, dtype=int), np.arange(3))
+        assert personalized_tag_weights(ds)[0] == pytest.approx(1.0 / 3.0)
+
+    def test_user_without_interactions_defaults(self):
+        tags = np.eye(2)
+        ds = self.make(tags, np.array([0, 0]), np.array([0, 1]))
+        ds.n_users = 2  # user 1 inactive — rebuild per-user view manually
+        assert personalized_tag_weights(ds)[1] == 0.5
+
+    def test_untagged_items_default(self):
+        tags = np.zeros((2, 3))
+        ds = self.make(tags, np.array([0, 0]), np.array([0, 1]))
+        assert personalized_tag_weights(ds)[0] == 0.5
+
+    def test_range(self, tiny_dataset):
+        alpha = personalized_tag_weights(tiny_dataset)
+        assert (alpha >= 0).all() and (alpha <= 1).all()
+
+
+class TestAblationFlags:
+    def test_euclidean_variant_trains(self, tiny_split):
+        m = TaxoRec(
+            tiny_split.train,
+            TrainConfig(seed=0, **CFG),
+            hyperbolic=False,
+            use_taxonomy=False,
+        )
+        m.fit(tiny_split)
+        scores = m.score_users(np.array([0]))
+        assert np.isfinite(scores).all()
+
+    def test_euclidean_embeddings_flat(self, tiny_split):
+        m = TaxoRec(tiny_split.train, TrainConfig(seed=0, **CFG), hyperbolic=False, use_taxonomy=False)
+        assert m.user_ir.data.shape[1] == 16 - 4  # no Lorentz time coordinate
+
+    def test_hyperbolic_embeddings_on_manifold(self, tiny_split):
+        m = TaxoRec(tiny_split.train, TrainConfig(seed=0, **CFG))
+        inner = m.lorentz.inner_np(m.user_ir.data, m.user_ir.data)
+        np.testing.assert_allclose(inner, -1.0, atol=1e-9)
+
+    def test_taxonomy_requires_hyperbolic(self, tiny_split):
+        with pytest.raises(ValueError):
+            TaxoRec(tiny_split.train, hyperbolic=False, use_taxonomy=True)
+
+    def test_invalid_local_agg_rejected(self, tiny_split):
+        with pytest.raises(ValueError):
+            TaxoRec(tiny_split.train, local_agg="average")
+
+    def test_tangent_mean_ablation_runs(self, tiny_split):
+        m = TaxoRec(tiny_split.train, TrainConfig(seed=0, **CFG), local_agg="tangent_mean")
+        m.fit(tiny_split)
+        assert np.isfinite(m.score_users(np.array([0]))).all()
+
+    def test_fixed_alpha(self, tiny_split):
+        m = TaxoRec(
+            tiny_split.train,
+            TrainConfig(seed=0, **CFG),
+            personalized_alpha=False,
+            fixed_alpha=0.7,
+        )
+        np.testing.assert_array_equal(m.alpha_u, 0.7)
+        np.testing.assert_allclose(m._alpha, 0.7 * m.beta)
+
+    def test_beta_defaults_to_dimension_ratio(self, tiny_split):
+        m = TaxoRec(tiny_split.train, TrainConfig(seed=0, **CFG))
+        assert m.beta == (16 - 4) / 4
+
+    def test_beta_override_via_config(self, tiny_split):
+        config = TrainConfig(seed=0, taxo_beta=7.5, **CFG)
+        assert TaxoRec(tiny_split.train, config).beta == 7.5
+
+    def test_beta_override_via_constructor(self, tiny_split):
+        m = TaxoRec(tiny_split.train, TrainConfig(seed=0, **CFG), tag_channel_weight=2.0)
+        assert m.beta == 2.0
+
+
+class TestTaxonomyAlternation:
+    def test_taxonomy_built_after_warmup(self, tiny_split):
+        config = TrainConfig(seed=0, dim=16, tag_dim=4, epochs=4, batch_size=256, lr=0.5)
+        m = TaxoRec(tiny_split.train, config, taxo_warmup=2)
+        assert m.taxonomy is None
+        m.fit(tiny_split)
+        assert m.taxonomy is not None
+
+    def test_no_taxonomy_when_disabled(self, tiny_split):
+        m = TaxoRec(tiny_split.train, TrainConfig(seed=0, **CFG), use_taxonomy=False)
+        m.fit(tiny_split)
+        assert m.taxonomy is None
+
+    def test_rebuild_covers_all_tags(self, tiny_split):
+        m = TaxoRec(tiny_split.train, TrainConfig(seed=0, **CFG))
+        taxo = m.rebuild_taxonomy()
+        assert len(taxo.root.members) == tiny_split.train.n_tags
+
+    def test_tag_embeddings_stay_in_ball_after_training(self, tiny_split):
+        config = TrainConfig(seed=0, dim=16, tag_dim=4, epochs=4, batch_size=256, lr=1.0, taxo_lambda=0.1)
+        m = TaxoRec(tiny_split.train, config, taxo_warmup=1)
+        m.fit(tiny_split)
+        assert (np.linalg.norm(m.tag_emb.data, axis=1) < 1.0).all()
+
+    def test_user_item_embeddings_stay_on_hyperboloid(self, tiny_split):
+        config = TrainConfig(seed=0, dim=16, tag_dim=4, epochs=4, batch_size=256, lr=1.0)
+        m = TaxoRec(tiny_split.train, config)
+        m.fit(tiny_split)
+        for p in (m.user_ir, m.item_ir, m.user_tg):
+            np.testing.assert_allclose(
+                m.lorentz.inner_np(p.data, p.data), -1.0, atol=1e-8
+            )
+
+
+class TestInference:
+    def test_user_tag_distances_shape(self, tiny_split):
+        m = TaxoRec(tiny_split.train, TrainConfig(seed=0, **CFG))
+        m.fit(tiny_split)
+        d = m.user_tag_distances(np.array([0, 1]))
+        assert d.shape == (2, tiny_split.train.n_tags)
+        assert (d >= 0).all()
+
+    def test_score_users_prefers_trained_positives(self, tiny_split):
+        """After training, observed items should outscore random ones on average."""
+        config = TrainConfig(seed=0, dim=16, tag_dim=4, epochs=25, batch_size=256, lr=1.0, margin=2.0, n_layers=1)
+        m = TaxoRec(tiny_split.train, config)
+        m.fit(tiny_split)
+        per_user = tiny_split.train.items_of_user()
+        users = [u for u in range(10) if len(per_user[u])]
+        scores = m.score_users(np.array(users))
+        hits, misses = [], []
+        rng = np.random.default_rng(0)
+        for i, u in enumerate(users):
+            pos = per_user[u]
+            neg = rng.choice(tiny_split.train.n_items, size=len(pos))
+            hits.append(scores[i, pos].mean())
+            misses.append(scores[i, neg].mean())
+        assert np.mean(hits) > np.mean(misses)

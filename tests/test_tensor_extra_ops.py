@@ -1,0 +1,72 @@
+"""The long tail of Tensor ops: min/var/std, log1p/expm1, squeeze/unsqueeze."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+
+
+class TestMinVarStd:
+    def test_min_values(self):
+        t = Tensor(np.array([[3.0, 1.0], [2.0, 5.0]]))
+        np.testing.assert_array_equal(t.min(axis=1).data, [1.0, 2.0])
+        assert t.min().item() == 1.0
+
+    def test_min_gradient(self, rng):
+        x = rng.permutation(8).astype(np.float64).reshape(2, 4)
+        check_gradients(lambda a: a.min(axis=1).sum(), [x])
+
+    def test_var_matches_numpy(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(Tensor(x).var().item(), x.var())
+        np.testing.assert_allclose(Tensor(x).var(axis=0).data, x.var(axis=0))
+
+    def test_var_gradient(self, rng):
+        check_gradients(lambda a: a.var(axis=1).sum(), [rng.normal(size=(3, 4))])
+
+    def test_std_matches_numpy(self, rng):
+        x = rng.normal(size=(10,))
+        np.testing.assert_allclose(Tensor(x).std().item(), x.std(), rtol=1e-6)
+
+    def test_std_of_constant_finite_gradient(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        x.std().backward()
+        assert np.isfinite(x.grad).all()
+
+
+class TestLog1pExpm1:
+    def test_log1p_accuracy_small(self):
+        x = Tensor(np.array([1e-12]))
+        np.testing.assert_allclose(x.log1p().data, [1e-12], rtol=1e-6)
+
+    def test_expm1_accuracy_small(self):
+        x = Tensor(np.array([1e-12]))
+        np.testing.assert_allclose(x.expm1().data, [1e-12], rtol=1e-6)
+
+    def test_roundtrip(self, rng):
+        x = rng.uniform(-0.5, 2.0, size=6)
+        np.testing.assert_allclose(Tensor(x).expm1().log1p().data, x, rtol=1e-10)
+
+    def test_gradients(self, rng):
+        x = rng.uniform(-0.5, 2.0, size=(3, 2))
+        check_gradients(lambda a: a.log1p().sum(), [x])
+        check_gradients(lambda a: a.expm1().sum(), [x])
+
+
+class TestSqueezeUnsqueeze:
+    def test_squeeze(self):
+        t = Tensor(np.zeros((3, 1, 2)))
+        assert t.squeeze(1).shape == (3, 2)
+
+    def test_squeeze_rejects_wide_axis(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((3, 2))).squeeze(1)
+
+    def test_unsqueeze(self):
+        t = Tensor(np.zeros((3, 2)))
+        assert t.unsqueeze(0).shape == (1, 3, 2)
+        assert t.unsqueeze(-1).shape == (3, 2, 1)
+
+    def test_roundtrip_gradient(self, rng):
+        x = rng.normal(size=(3, 2))
+        check_gradients(lambda a: (a.unsqueeze(1).squeeze(1) ** 2).sum(), [x])

@@ -1,0 +1,190 @@
+"""Gradient correctness for every Tensor primitive (vs central differences)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+
+
+@pytest.fixture()
+def x34(rng):
+    return rng.normal(size=(3, 4))
+
+
+class TestArithmeticGrads:
+    def test_add(self, rng, x34):
+        check_gradients(lambda a, b: (a + b).sum(), [x34, rng.normal(size=(3, 4))])
+
+    def test_add_broadcast(self, rng, x34):
+        check_gradients(lambda a, b: (a + b).sum(), [x34, rng.normal(size=(4,))])
+
+    def test_sub(self, rng, x34):
+        check_gradients(lambda a, b: (a - b).sum(), [x34, rng.normal(size=(3, 4))])
+
+    def test_mul(self, rng, x34):
+        check_gradients(lambda a, b: (a * b).sum(), [x34, rng.normal(size=(3, 4))])
+
+    def test_mul_broadcast_column(self, rng, x34):
+        check_gradients(lambda a, b: (a * b).sum(), [x34, rng.normal(size=(3, 1))])
+
+    def test_div(self, rng, x34):
+        b = rng.normal(size=(3, 4)) + 5.0  # keep away from the pole
+        check_gradients(lambda a, c: (a / c).sum(), [x34, b])
+
+    def test_neg(self, x34):
+        check_gradients(lambda a: (-a).sum(), [x34])
+
+    def test_pow(self, rng):
+        x = np.abs(rng.normal(size=(5,))) + 0.5
+        check_gradients(lambda a: (a**3).sum(), [x])
+        check_gradients(lambda a: (a**0.5).sum(), [x])
+
+    def test_matmul(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        check_gradients(lambda p, q: (p @ q).sum(), [a, b])
+
+    def test_matmul_vector_matrix(self, rng):
+        a = rng.normal(size=(4,))
+        b = rng.normal(size=(4, 2))
+        check_gradients(lambda p, q: (p @ q).sum(), [a, b])
+
+    def test_matmul_matrix_vector(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4,))
+        check_gradients(lambda p, q: (p @ q).sum(), [a, b])
+
+    def test_matmul_vector_vector(self, rng):
+        a, b = rng.normal(size=4), rng.normal(size=4)
+        check_gradients(lambda p, q: p @ q, [a, b])
+
+
+class TestReductionGrads:
+    def test_sum_axis(self, x34):
+        check_gradients(lambda a: (a.sum(axis=0) ** 2).sum(), [x34])
+
+    def test_sum_keepdims(self, x34):
+        check_gradients(lambda a: (a.sum(axis=1, keepdims=True) * a).sum(), [x34])
+
+    def test_mean(self, x34):
+        check_gradients(lambda a: (a.mean(axis=1) ** 2).sum(), [x34])
+
+    def test_max_no_ties(self, rng):
+        x = rng.permutation(12).astype(np.float64).reshape(3, 4)
+        check_gradients(lambda a: a.max(axis=1).sum(), [x])
+
+    def test_max_global(self, rng):
+        x = rng.permutation(12).astype(np.float64).reshape(3, 4)
+        check_gradients(lambda a: a.max() * 2.0, [x])
+
+
+class TestShapeGrads:
+    def test_reshape(self, x34):
+        check_gradients(lambda a: (a.reshape(4, 3) ** 2).sum(), [x34])
+
+    def test_transpose(self, x34):
+        check_gradients(lambda a: (a.T @ a).sum(), [x34])
+
+    def test_getitem_slice(self, x34):
+        check_gradients(lambda a: (a[1:, :2] ** 2).sum(), [x34])
+
+    def test_take_rows_with_repeats(self, rng):
+        x = rng.normal(size=(5, 3))
+        idx = np.array([0, 0, 2, 4, 4, 4])
+        check_gradients(lambda a: (a.take_rows(idx) ** 2).sum(), [x])
+
+
+class TestElementwiseGrads:
+    def test_exp(self, x34):
+        check_gradients(lambda a: a.exp().sum(), [x34])
+
+    def test_log(self, rng):
+        x = np.abs(rng.normal(size=(4,))) + 0.5
+        check_gradients(lambda a: a.log().sum(), [x])
+
+    def test_sqrt(self, rng):
+        x = np.abs(rng.normal(size=(4,))) + 0.5
+        check_gradients(lambda a: a.sqrt().sum(), [x])
+
+    def test_tanh(self, x34):
+        check_gradients(lambda a: a.tanh().sum(), [x34])
+
+    def test_sinh_cosh(self, x34):
+        check_gradients(lambda a: a.sinh().sum(), [x34])
+        check_gradients(lambda a: a.cosh().sum(), [x34])
+
+    def test_arcosh(self, rng):
+        x = np.abs(rng.normal(size=(4,))) + 1.5
+        check_gradients(lambda a: a.arcosh().sum(), [x])
+
+    def test_artanh(self, rng):
+        x = rng.uniform(-0.8, 0.8, size=(4,))
+        check_gradients(lambda a: a.artanh().sum(), [x])
+
+    def test_abs(self, rng):
+        x = rng.normal(size=(4,)) + np.sign(rng.normal(size=4)) * 0.5  # avoid 0
+        check_gradients(lambda a: a.abs().sum(), [x])
+
+    def test_clamp_interior_gradient(self, rng):
+        x = rng.uniform(0.2, 0.8, size=(4,))
+        check_gradients(lambda a: a.clamp(0.0, 1.0).sum(), [x])
+
+    def test_clamp_blocks_outside(self):
+        x = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        x.clamp(0.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(x.grad, [0.0, 0.0])
+
+    def test_relu(self, rng):
+        x = rng.normal(size=(6,))
+        x = x[np.abs(x) > 1e-3]
+        check_gradients(lambda a: a.relu().sum(), [x])
+
+    def test_sigmoid(self, x34):
+        check_gradients(lambda a: a.sigmoid().sum(), [x34])
+
+    def test_norm(self, rng):
+        x = rng.normal(size=(3, 4)) + 1.0
+        check_gradients(lambda a: a.norm(axis=-1).sum(), [x])
+
+
+class TestBackwardSemantics:
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor([2.0], requires_grad=True)
+        for _ in range(2):
+            (x * 3.0).sum().backward()
+        np.testing.assert_array_equal(x.grad, [6.0])
+
+    def test_zero_grad(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * 3.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        # y = x*x + x*x must double-count through both paths.
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x
+        (y + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_backward_requires_scalar_or_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 2.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_array_equal(x.grad, [2.0, 20.0])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])

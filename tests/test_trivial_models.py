@@ -1,0 +1,42 @@
+"""Popularity / Random reference models."""
+
+import numpy as np
+
+from repro.eval import evaluate
+from repro.models import Popularity, Random, create_model
+
+
+class TestPopularity:
+    def test_scores_equal_across_users(self, tiny_split):
+        m = Popularity(tiny_split.train)
+        scores = m.score_users(np.array([0, 1, 2]))
+        np.testing.assert_array_equal(scores[0], scores[1])
+
+    def test_most_popular_item_ranked_first(self, tiny_split):
+        m = Popularity(tiny_split.train)
+        counts = np.bincount(tiny_split.train.item_ids, minlength=tiny_split.train.n_items)
+        top = m.score_users(np.array([0]))[0].argmax()
+        assert counts[top] == counts.max()
+
+    def test_beats_random(self, tiny_split):
+        pop = evaluate(Popularity(tiny_split.train).fit(), tiny_split, on="test")
+        rnd = evaluate(Random(tiny_split.train).fit(), tiny_split, on="test")
+        assert pop.mean() > rnd.mean()
+
+    def test_registered(self, tiny_split):
+        m = create_model("Popularity", tiny_split.train)
+        assert isinstance(m, Popularity)
+
+
+class TestRandom:
+    def test_in_range(self, tiny_split):
+        m = Random(tiny_split.train)
+        scores = m.score_users(np.array([0]))
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_seeded_stream_deterministic_across_instances(self, tiny_split):
+        from repro.models import TrainConfig
+
+        a = Random(tiny_split.train, TrainConfig(seed=5)).score_users(np.array([0]))
+        b = Random(tiny_split.train, TrainConfig(seed=5)).score_users(np.array([0]))
+        np.testing.assert_array_equal(a, b)

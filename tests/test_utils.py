@@ -1,0 +1,55 @@
+"""Utility helpers: RNG plumbing, table rendering, timing."""
+
+import numpy as np
+
+from repro.utils import Timer, ensure_rng, format_percent, render_table, spawn
+
+
+class TestRng:
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_seed_determinism(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_independent(self):
+        children = spawn(ensure_rng(0), 3)
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [c.random() for c in spawn(ensure_rng(1), 2)]
+        b = [c.random() for c in spawn(ensure_rng(1), 2)]
+        assert a == b
+
+
+class TestTables:
+    def test_format_percent(self):
+        assert format_percent(0.0633) == "6.33"
+        assert format_percent(0.1, 1) == "10.0"
+
+    def test_render_alignment(self):
+        out = render_table(["a", "bb"], [["x", 1], ["yyyy", 22]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        header, sep, *rows = lines
+        assert len(header) == len(sep)
+
+    def test_render_title(self):
+        out = render_table(["c"], [["v"]], title="Table I")
+        assert out.startswith("Table I")
+
+    def test_cells_stringified(self):
+        out = render_table(["n"], [[3.14159]])
+        assert "3.14159" in out
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed > 0
