@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local pre-push gate: tier-1 tests, the repo's own lint pass, and (when
+# installed) ruff.  Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PWD}/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== repro.analysis =="
+python -m repro.analysis src
+
+echo "== ruff =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check .
+else
+    echo "ruff not installed; skipping (pip install -e .[lint])"
+fi
+
+echo "All checks passed."

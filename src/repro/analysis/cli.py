@@ -1,0 +1,79 @@
+"""Command line front end: ``python -m repro.analysis [paths]``.
+
+Exit codes: 0 — no violations; 1 — violations found; 2 — usage or I/O error
+(unknown rule, missing path, bad format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, Sequence
+
+from .engine import analyze_paths
+from .registry import all_rules
+from .reporting import write_report
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Numerics-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyse (default: src if present, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule names to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _split(csv: str) -> list[str]:
+    return [part.strip() for part in csv.split(",") if part.strip()]
+
+
+def main(argv: Sequence[str] | None = None, stdout: IO[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            out.write(f"{rule.name}: {rule.description}\n")
+        return 0
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    try:
+        violations = analyze_paths(paths, select=_split(args.select), ignore=_split(args.ignore))
+    except (KeyError, FileNotFoundError) as exc:
+        sys.stderr.write(f"repro.analysis: error: {exc}\n")
+        return 2
+    write_report(violations, out, fmt=args.format)
+    return 1 if violations else 0

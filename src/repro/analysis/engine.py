@@ -1,0 +1,156 @@
+"""File walking, suppression parsing and rule dispatch.
+
+The engine parses each file once, extracts ``# repro-lint:`` suppression
+comments with :mod:`tokenize`, runs every applicable registered rule over the
+AST and filters the findings through the suppressions.
+
+Suppression syntax
+------------------
+* Trailing comment on the offending line::
+
+      y = x / norm  # repro-lint: disable=unclamped-boundary-op
+
+* Standalone comment line — disables the rules for the whole file::
+
+      # repro-lint: disable=magic-epsilon
+
+* ``disable=all`` disables every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Sequence
+
+from .registry import FileContext, Rule, Violation, all_rules
+
+__all__ = ["Suppressions", "analyze_source", "analyze_file", "analyze_paths", "iter_python_files"]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([\w\-,\s]+)")
+
+
+@dataclass
+class Suppressions:
+    """Per-file and per-line rule suppressions parsed from comments."""
+
+    file_level: set[str] = field(default_factory=set)
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        """Extract suppressions from ``# repro-lint: disable=...`` comments."""
+        supp = cls()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return supp
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            names = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            standalone = tok.line[: tok.start[1]].strip() == ""
+            if standalone:
+                supp.file_level |= names
+            else:
+                supp.by_line.setdefault(tok.start[0], set()).update(names)
+        return supp
+
+    def allows(self, violation: Violation) -> bool:
+        """Whether the violation survives (is *not* suppressed)."""
+        if "all" in self.file_level or violation.rule in self.file_level:
+            return False
+        line_rules = self.by_line.get(violation.line, ())
+        return "all" not in line_rules and violation.rule not in line_rules
+
+
+def _select_rules(
+    select: Sequence[str] | None = None, ignore: Sequence[str] | None = None
+) -> list[Rule]:
+    rules = list(all_rules())
+    known = {rule.name for rule in rules}
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in known:
+            raise KeyError(f"unknown rule {requested!r}; known rules: {sorted(known)}")
+    if select:
+        rules = [rule for rule in rules if rule.name in set(select)]
+    if ignore:
+        rules = [rule for rule in rules if rule.name not in set(ignore)]
+    return rules
+
+
+def analyze_source(
+    source: str,
+    path: str | PurePosixPath = "<string>",
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Run the configured rules over one source string."""
+    posix = PurePosixPath(str(path).replace("\\", "/"))
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule="syntax-error",
+                path=str(posix),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    suppressions = Suppressions.from_source(source)
+    ctx = FileContext(path=posix, source=source, tree=tree, lines=source.splitlines())
+    found: list[Violation] = []
+    for rule in _select_rules(select, ignore):
+        if not rule.applies_to(posix):
+            continue
+        for violation in rule.check(ctx):
+            if suppressions.allows(violation):
+                found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return found
+
+
+def analyze_file(
+    path: str | Path,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Run the configured rules over one file on disk."""
+    file_path = Path(path)
+    source = file_path.read_text(encoding="utf-8")
+    return analyze_source(source, file_path.as_posix(), select=select, ignore=ignore)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    collected: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            collected.update(p.rglob("*.py"))
+        elif p.suffix == ".py" and p.exists():
+            collected.add(p)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {entry}")
+    return sorted(collected)
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Run the configured rules over files and directory trees."""
+    found: list[Violation] = []
+    for file_path in iter_python_files(paths):
+        found.extend(analyze_file(file_path, select=select, ignore=ignore))
+    return found

@@ -1,0 +1,131 @@
+"""Shared syntactic heuristics for the numerics rules.
+
+These helpers answer two questions about an expression subtree:
+
+* does it *visibly* guard against a boundary (a ``clip``/``clamp``/
+  ``maximum`` call, an ``eps`` keyword, or a name that mentions an epsilon
+  constant)?
+* does it *visibly* risk one (a subtraction, negation or division feeding a
+  ``sqrt``/``log``/``arccosh``-style call)?
+
+The analysis is purely syntactic with one level of local name resolution —
+there is no type inference or interprocedural dataflow.  Bare names whose
+assignment cannot be seen are treated as unknown and never flagged; the goal
+is zero false positives at the cost of missing some true positives.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "call_name",
+    "is_guarded",
+    "is_risky_argument",
+    "is_norm_like",
+    "local_assignments",
+]
+
+# Calls that bound their result away from the dangerous region.
+GUARD_CALL_NAMES = frozenset(
+    {
+        "clip",
+        "clamp",
+        "maximum",
+        "minimum",
+        "abs",
+        "exp",
+        "cosh",
+        "sigmoid",
+        "softplus",
+        "relu",
+        "where",
+        "max",
+        "min",
+    }
+)
+
+# Identifier fragments that signal an epsilon/tolerance constant is involved.
+GUARD_NAME_FRAGMENTS = ("eps", "min_norm", "clamp", "clip", "safe", "tol", "guard")
+
+
+def call_name(node: ast.Call) -> str:
+    """The trailing identifier of a call: ``np.linalg.norm(x)`` -> ``norm``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _name_mentions_guard(identifier: str) -> bool:
+    lowered = identifier.lower()
+    return any(fragment in lowered for fragment in GUARD_NAME_FRAGMENTS)
+
+
+def is_guarded(node: ast.AST) -> bool:
+    """Whether the expression visibly bounds itself away from the boundary."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            if call_name(sub) in GUARD_CALL_NAMES:
+                return True
+            # x.norm(..., eps=...) and friends: an eps keyword is a guard.
+            if any(kw.arg and _name_mentions_guard(kw.arg) for kw in sub.keywords):
+                return True
+        elif isinstance(sub, ast.Name) and _name_mentions_guard(sub.id):
+            return True
+        elif isinstance(sub, ast.Attribute) and _name_mentions_guard(sub.attr):
+            return True
+    return False
+
+
+def is_risky_argument(node: ast.AST) -> bool:
+    """Whether the expression visibly crosses a domain boundary.
+
+    Subtractions (``1 - ||x||^2``) and negations of non-literals (``-inner``)
+    can leave the domain of ``sqrt``/``log``/``arccosh``; negative literals
+    (``axis=-1``) and divisions by counts cannot, and are ignored.
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Sub):
+            return True
+        if (
+            isinstance(sub, ast.UnaryOp)
+            and isinstance(sub.op, ast.USub)
+            and not isinstance(sub.operand, ast.Constant)
+        ):
+            return True
+    return False
+
+
+def is_norm_like(node: ast.AST) -> bool:
+    """Whether the expression is a vector-norm call (which can be zero).
+
+    Matches ``np.linalg.norm(...)`` and ``.norm(...)`` method calls;
+    ``np.sqrt`` of an arbitrary expression is deliberately excluded —
+    ``scale / np.sqrt(dim)`` initialisers divide by a count, not a norm.
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    return call_name(node) == "norm"
+
+
+def local_assignments(func: ast.AST) -> dict[str, list[ast.AST]]:
+    """Map simple ``name = expr`` assignments inside a function body.
+
+    Multiple assignments to one name are all recorded; callers decide how to
+    combine them (this module's users treat a name as guarded if *any* of its
+    assignments is guarded, matching the ``x = norm(...); x = maximum(x, eps)``
+    idiom).
+    """
+    table: dict[str, list[ast.AST]] = {}
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+            target = sub.targets[0]
+            if isinstance(target, ast.Name):
+                table.setdefault(target.id, []).append(sub.value)
+        elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+            if isinstance(sub.target, ast.Name):
+                table.setdefault(sub.target.id, []).append(sub.value)
+    return table

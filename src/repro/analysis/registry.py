@@ -1,0 +1,91 @@
+"""Rule base class and the global rule registry.
+
+Every lint rule is a subclass of :class:`Rule` registered with the
+:func:`register` decorator.  The engine instantiates each registered rule
+once per process and asks it to check every file whose path passes
+:meth:`Rule.applies_to`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterable, Iterator, Type
+
+__all__ = ["Violation", "FileContext", "Rule", "register", "all_rules", "get_rule"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: ``path:line:col: rule: message``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """Render in the canonical single-line text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: PurePosixPath
+    source: str
+    tree: object  # ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def violation(self, rule: "Rule", node, message: str) -> Violation:
+        """Build a :class:`Violation` anchored at an AST node."""
+        return Violation(
+            rule=rule.name,
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class Rule:
+    """A single named check run over a parsed file."""
+
+    name: str = "abstract-rule"
+    description: str = ""
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        """Whether this rule should run on ``path`` (default: every file)."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        """Yield violations found in ``ctx``."""
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (by its ``name``) to the registry."""
+    instance = cls()
+    if instance.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {instance.name!r}")
+    _REGISTRY[instance.name] = instance
+    return cls
+
+
+def all_rules() -> Iterator[Rule]:
+    """All registered rules, sorted by name for stable output."""
+    from . import rules as _rules  # noqa: F401  (import registers the rules)
+
+    return iter(sorted(_REGISTRY.values(), key=lambda r: r.name))
+
+
+def get_rule(name: str) -> Rule:
+    """Look up one rule by name (raises ``KeyError`` for unknown names)."""
+    from . import rules as _rules  # noqa: F401
+
+    return _REGISTRY[name]

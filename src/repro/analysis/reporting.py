@@ -1,0 +1,51 @@
+"""Text and JSON reporters for lint findings."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import IO, Sequence
+
+from .registry import Violation
+
+__all__ = ["render_text", "render_json", "write_report"]
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    """One ``path:line:col: rule: message`` line per finding plus a summary."""
+    if not violations:
+        return "repro.analysis: no violations\n"
+    lines = [v.format() for v in violations]
+    counts = Counter(v.rule for v in violations)
+    breakdown = ", ".join(f"{name}={n}" for name, n in sorted(counts.items()))
+    lines.append(f"repro.analysis: {len(violations)} violation(s) ({breakdown})")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    """Machine-readable report: findings list plus per-rule counts."""
+    payload = {
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        "counts": dict(sorted(Counter(v.rule for v in violations).items())),
+        "total": len(violations),
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def write_report(violations: Sequence[Violation], stream: IO[str], fmt: str = "text") -> None:
+    """Render ``violations`` to ``stream`` in the requested format."""
+    if fmt == "json":
+        stream.write(render_json(violations))
+    elif fmt == "text":
+        stream.write(render_text(violations))
+    else:
+        raise ValueError(f"unknown report format {fmt!r} (expected 'text' or 'json')")

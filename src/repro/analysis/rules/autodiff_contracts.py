@@ -1,0 +1,121 @@
+"""Contract rules for the custom reverse-mode autodiff engine.
+
+The tape in ``repro.autodiff`` records closures over forward values.  Two
+invariants keep it honest:
+
+* ``Tensor.data`` is mutated only by the optimisers (and the engine itself);
+  anywhere else an in-place write silently corrupts recorded forward values
+  and yields wrong gradients with no error.
+* Every op that produces a graph node registers a gradient (the ``vjp``
+  argument of ``Tensor._from_op``); a class-style op with ``forward`` must
+  pair it with ``backward``/``vjp``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterable
+
+from ..registry import FileContext, Rule, Violation, register
+
+# Directories whose job is to mutate parameter storage.
+_SANCTIONED_PARTS = ("optim", "autodiff")
+
+
+def _is_data_attribute(node: ast.AST) -> ast.Attribute | None:
+    """Return the ``<expr>.data`` attribute behind a write target, if any."""
+    target = node
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute) and target.attr == "data":
+        return target
+    return None
+
+
+@register
+class InplaceTensorData(Rule):
+    """Writes to ``.data`` outside ``optim/``/``autodiff/`` break the tape."""
+
+    name = "inplace-tensor-data"
+    description = (
+        "assignment to a .data attribute outside optim/ and autodiff/ "
+        "(in-place mutation corrupts recorded forward values on the tape)"
+    )
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        return not any(part in _SANCTIONED_PARTS for part in path.parts)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                attr = _is_data_attribute(target)
+                if attr is not None:
+                    yield ctx.violation(
+                        self,
+                        node,
+                        "in-place write to .data outside optim/; route updates "
+                        "through an optimiser or rebuild the Tensor",
+                    )
+
+
+@register
+class MissingBackward(Rule):
+    """Autodiff ops must register a gradient.
+
+    Flags calls to ``Tensor._from_op`` that omit the ``vjp`` argument or pass
+    a literal ``None``, and (inside ``autodiff/``) class-style ops that define
+    ``forward`` without a ``backward``/``vjp`` method.
+    """
+
+    name = "missing-backward"
+    description = (
+        "autodiff op without a registered gradient (missing/None vjp in "
+        "_from_op, or forward without backward)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        in_autodiff = "autodiff" in ctx.path.parts
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_from_op(ctx, node)
+            elif in_autodiff and isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_from_op(self, ctx, node: ast.Call) -> Iterable[Violation]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "_from_op"):
+            return
+        vjp: ast.AST | None = None
+        if len(node.args) >= 3:
+            vjp = node.args[2]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "vjp":
+                    vjp = kw.value
+        if vjp is None or (isinstance(vjp, ast.Constant) and vjp.value is None):
+            yield ctx.violation(
+                self,
+                node,
+                "_from_op call without a vjp: the op's output would detach "
+                "from the tape and receive no gradient",
+            )
+
+    def _check_class(self, ctx, node: ast.ClassDef) -> Iterable[Violation]:
+        methods = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "forward" in methods and not methods & {"backward", "vjp"}:
+            yield ctx.violation(
+                self,
+                node,
+                f"class {node.name} defines forward() without backward()/vjp(); "
+                "register a gradient for the op",
+            )

@@ -1,0 +1,135 @@
+"""General library-hygiene rules: RNG discipline, exceptions, defaults, I/O."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterable
+
+from ..registry import FileContext, Rule, Violation, register
+
+# Constructors on np.random that produce an isolated, seedable generator.
+_SANCTIONED_RANDOM_ATTRS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox", "SFC64"}
+)
+
+# Files whose whole point is terminal output.
+_PRINT_OK_FILENAMES = frozenset({"cli.py", "__main__.py"})
+
+
+@register
+class GlobalRng(Rule):
+    """Randomness must flow through an explicit ``np.random.Generator``.
+
+    Module-level ``np.random.*`` calls (``seed``/``rand``/``shuffle``/...)
+    share hidden global state, so two call sites silently decorrelate or
+    couple runs; every paper table in this repo must be reproducible from a
+    seed passed down explicitly (see ``repro.utils.rng.ensure_rng``).
+    """
+
+    name = "global-rng"
+    description = (
+        "call to the global np.random state; pass an np.random.Generator "
+        "(repro.utils.rng.ensure_rng) instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            value = func.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in {"np", "numpy"}
+            ):
+                if func.attr == "RandomState" or func.attr not in _SANCTIONED_RANDOM_ATTRS:
+                    yield ctx.violation(
+                        self,
+                        node,
+                        f"np.random.{func.attr}() uses process-global RNG state; "
+                        "accept and use an np.random.Generator",
+                    )
+
+
+@register
+class BareExcept(Rule):
+    """``except:`` swallows SystemExit/KeyboardInterrupt and real bugs."""
+
+    name = "bare-except"
+    description = "bare except clause; catch a specific exception type"
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.violation(
+                    self,
+                    node,
+                    "bare except hides SystemExit/KeyboardInterrupt and NaN bugs; "
+                    "name the exception type",
+                )
+
+
+@register
+class MutableDefaultArg(Rule):
+    """Mutable default arguments are shared across calls."""
+
+    name = "mutable-default-arg"
+    description = "mutable default argument (list/dict/set); default to None instead"
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set"})
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield ctx.violation(
+                        self,
+                        default,
+                        "mutable default argument is evaluated once and shared "
+                        "across calls; use None and create inside",
+                    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._MUTABLE_CALLS
+        return False
+
+
+@register
+class PrintCall(Rule):
+    """Library code logs through ``repro.utils.logging``, never ``print``."""
+
+    name = "print-call"
+    description = (
+        "print() in library code; use repro.utils.logging.get_logger() "
+        "(cli.py/__main__.py are exempt)"
+    )
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        return path.name not in _PRINT_OK_FILENAMES
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.violation(
+                    self,
+                    node,
+                    "print() bypasses the shared logger; use "
+                    "repro.utils.logging.get_logger()",
+                )

@@ -479,14 +479,17 @@ class Tensor:
 
         def vjp(g):
             # d/dx arccosh(x) = 1/sqrt(x^2 - 1); guard the boundary x = 1.
-            denom = np.sqrt(np.maximum(src * src - 1.0, 1e-15))
+            # The literal mirrors manifolds.constants.MIN_NORM — autodiff is
+            # below manifolds in the layering and must not import from it.
+            denom = np.sqrt(np.maximum(src * src - 1.0, 1e-15))  # repro-lint: disable=magic-epsilon
             return (g / denom,)
 
         return Tensor._from_op(data, (self,), vjp)
 
     def artanh(self) -> "Tensor":
         """Inverse hyperbolic tangent; input clipped inside (-1, 1)."""
-        src = np.clip(self.data, -1.0 + 1e-15, 1.0 - 1e-15)
+        # Mirrors manifolds.constants.MIN_NORM; see arcosh for the layering note.
+        src = np.clip(self.data, -1.0 + 1e-15, 1.0 - 1e-15)  # repro-lint: disable=magic-epsilon
         data = np.arctanh(src)
 
         def vjp(g):

@@ -90,7 +90,8 @@ class InteractionDataset:
         mat = sparse.csr_matrix(
             (data, (self.user_ids, self.item_ids)), shape=(self.n_users, self.n_items)
         )
-        mat.data[:] = 1.0
+        # scipy CSR payload, not an autodiff Tensor — no tape to corrupt.
+        mat.data[:] = 1.0  # repro-lint: disable=inplace-tensor-data
         return mat
 
     def items_of_user(self) -> list[np.ndarray]:

@@ -1,8 +1,15 @@
 """Hyperbolic geometry substrate: Poincaré, Lorentz, Klein models and maps."""
 
-from .base import Manifold
+from . import constants
+from .base import Manifold, ManifoldCheckError
 from .euclidean import Euclidean
-from .klein import einstein_midpoint, einstein_midpoint_batch, einstein_midpoint_np, lorentz_factor
+from .klein import (
+    check_klein_point,
+    einstein_midpoint,
+    einstein_midpoint_batch,
+    einstein_midpoint_np,
+    lorentz_factor,
+)
 from .lorentz import Lorentz
 from .maps import (
     klein_to_poincare,
@@ -17,11 +24,14 @@ from .maps import (
 from .poincare import PoincareBall
 
 __all__ = [
+    "constants",
     "Manifold",
+    "ManifoldCheckError",
     "Euclidean",
     "PoincareBall",
     "Lorentz",
     "lorentz_factor",
+    "check_klein_point",
     "einstein_midpoint",
     "einstein_midpoint_batch",
     "einstein_midpoint_np",

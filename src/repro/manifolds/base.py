@@ -12,12 +12,27 @@ Each manifold exposes two families of operations:
 from __future__ import annotations
 
 import abc
+import os
 
 import numpy as np
 
 from ..autodiff import Tensor
 
-__all__ = ["Manifold"]
+__all__ = ["Manifold", "ManifoldCheckError", "manifold_checks_enabled"]
+
+
+class ManifoldCheckError(ValueError):
+    """A point failed its manifold's runtime contract check."""
+
+
+def manifold_checks_enabled() -> bool:
+    """Whether ``REPRO_CHECK_MANIFOLD`` turns on runtime point validation."""
+    return os.environ.get("REPRO_CHECK_MANIFOLD", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "off",
+    )
 
 
 class Manifold(abc.ABC):
@@ -46,6 +61,31 @@ class Manifold(abc.ABC):
     def retract(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
         """First-order retraction; defaults to expmap followed by projection."""
         return self.proj(self.expmap_np(x, v))
+
+    # -- runtime contracts ----------------------------------------------
+    def check_point(self, x: np.ndarray, *, atol: float = 1e-6, force: bool = False) -> np.ndarray:
+        """Validate that ``x`` satisfies the manifold's point invariant.
+
+        A debug-mode contract check: a no-op unless the environment variable
+        ``REPRO_CHECK_MANIFOLD`` is set (to anything but ``0``/``false``/
+        ``off``) or ``force=True``.  When active, raises
+        :class:`ManifoldCheckError` naming the manifold and the worst
+        offending value; otherwise returns ``x`` unchanged, so call sites can
+        wrap expressions: ``emb = manifold.check_point(manifold.proj(raw))``.
+        """
+        if not (force or manifold_checks_enabled()):
+            return x
+        arr = np.asarray(x, dtype=np.float64)
+        if not np.all(np.isfinite(arr)):
+            raise ManifoldCheckError(f"{self.name}: point contains non-finite values")
+        problem = self._point_violation(arr, atol)
+        if problem is not None:
+            raise ManifoldCheckError(f"{self.name}: {problem}")
+        return x
+
+    def _point_violation(self, x: np.ndarray, atol: float) -> str | None:
+        """Subclass hook: a description of the violated invariant, or None."""
+        return None
 
     # -- geometry -------------------------------------------------------
     @abc.abstractmethod

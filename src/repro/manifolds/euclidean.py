@@ -6,6 +6,7 @@ import numpy as np
 
 from ..autodiff import Tensor
 from .base import Manifold
+from .constants import MIN_NORM as _MIN_NORM
 
 __all__ = ["Euclidean"]
 
@@ -33,4 +34,4 @@ class Euclidean(Manifold):
 
     def dist(self, x: Tensor, y: Tensor) -> Tensor:
         """Euclidean (L2) distance along the last axis."""
-        return (x - y).norm(axis=-1, eps=1e-15)
+        return (x - y).norm(axis=-1, eps=_MIN_NORM)

@@ -11,10 +11,29 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import Tensor
+from .base import ManifoldCheckError, manifold_checks_enabled
+from .constants import EPS as _EPS
 
-__all__ = ["lorentz_factor", "einstein_midpoint", "einstein_midpoint_np"]
+__all__ = ["lorentz_factor", "einstein_midpoint", "einstein_midpoint_np", "check_klein_point"]
 
-_EPS = 1e-7
+
+def check_klein_point(x: np.ndarray, *, force: bool = False) -> np.ndarray:
+    """Debug-mode contract check: Klein points live in the open unit ball.
+
+    Like :meth:`repro.manifolds.base.Manifold.check_point`, a no-op unless
+    ``REPRO_CHECK_MANIFOLD`` is set or ``force=True``.
+    """
+    if not (force or manifold_checks_enabled()):
+        return x
+    arr = np.asarray(x, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ManifoldCheckError("klein: point contains non-finite values")
+    max_norm = float(np.max(np.linalg.norm(arr, axis=-1), initial=0.0))
+    if max_norm >= 1.0:
+        raise ManifoldCheckError(
+            f"klein: point norm {max_norm:.17g} is outside the open unit ball"
+        )
+    return x
 
 
 def lorentz_factor(x: Tensor) -> Tensor:

@@ -16,11 +16,10 @@ import numpy as np
 
 from ..autodiff import Tensor, concat
 from .base import Manifold
+from .constants import MAX_TANH_ARG as _MAX_TANH_ARG
+from .constants import MIN_NORM as _MIN_NORM
 
 __all__ = ["Lorentz"]
-
-_MIN_NORM = 1e-15
-_MAX_TANH_ARG = 15.0
 
 
 class Lorentz(Manifold):
@@ -63,6 +62,17 @@ class Lorentz(Manifold):
         o = np.zeros(dim + 1, dtype=np.float64)
         o[0] = 1.0
         return o
+
+    def _point_violation(self, x: np.ndarray, atol: float) -> str | None:
+        """Points must satisfy <x, x>_L = -1 (curvature -1) with x_0 > 0."""
+        inner = self.inner_np(x, x)
+        worst = float(np.max(np.abs(inner + 1.0), initial=0.0))
+        if worst > atol:
+            return f"<x, x>_L deviates from -1 by {worst:.3g} (atol={atol:.3g})"
+        min_time = float(np.min(x[..., 0], initial=np.inf))
+        if min_time <= 0.0:
+            return f"time coordinate {min_time:.17g} is not on the upper sheet"
+        return None
 
     # ------------------------------------------------------------------
     # Optimisation
@@ -146,8 +156,13 @@ class Lorentz(Manifold):
         return np.arccosh(x0) * spatial / sp_norm
 
     def expmap0_np(self, z: np.ndarray) -> np.ndarray:
-        """NumPy twin of :meth:`expmap0`."""
-        norm = np.maximum(np.linalg.norm(z, axis=-1, keepdims=True), _MIN_NORM)
+        """NumPy twin of :meth:`expmap0`.
+
+        Uses the same guarded norm as the Tensor path — ``sqrt(||z||^2 +
+        MIN_NORM)`` — so the divisor is floored identically and the two
+        implementations agree to the last ulp.
+        """
+        norm = np.sqrt(np.sum(z * z, axis=-1, keepdims=True) + _MIN_NORM)
         clipped = np.minimum(norm, _MAX_TANH_ARG)
         time = np.cosh(clipped)
         spatial = np.sinh(clipped) * z / norm

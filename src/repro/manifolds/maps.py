@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import Tensor, concat
+from .constants import EPS as _EPS
 
 __all__ = [
     "lorentz_to_poincare",
@@ -23,8 +24,6 @@ __all__ = [
     "poincare_to_klein_np",
     "klein_to_poincare_np",
 ]
-
-_EPS = 1e-7
 
 
 # ----------------------------------------------------------------------

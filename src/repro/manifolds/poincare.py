@@ -12,12 +12,12 @@ import numpy as np
 from ..autodiff import Tensor
 from .base import Manifold
 
-__all__ = ["PoincareBall"]
-
 # Keep points strictly inside the unit ball; the distance blows up at the
 # boundary and float64 loses all precision there.
-_BOUNDARY_EPS = 1e-5
-_MIN_NORM = 1e-15
+from .constants import BOUNDARY_EPS as _BOUNDARY_EPS
+from .constants import MIN_NORM as _MIN_NORM
+
+__all__ = ["PoincareBall"]
 
 
 class PoincareBall(Manifold):
@@ -42,6 +42,13 @@ class PoincareBall(Manifold):
         where distances saturate and gradients explode)."""
         d = shape[-1]
         return self.proj(rng.normal(0.0, scale / np.sqrt(d), size=shape))
+
+    def _point_violation(self, x: np.ndarray, atol: float) -> str | None:
+        """Points must stay strictly inside the open unit ball."""
+        max_norm = float(np.max(np.linalg.norm(x, axis=-1), initial=0.0))
+        if max_norm >= 1.0:
+            return f"point norm {max_norm:.17g} is outside the open unit ball"
+        return None
 
     # ------------------------------------------------------------------
     # Optimisation

@@ -12,6 +12,7 @@ import numpy as np
 
 from ..autodiff import Parameter, Tensor, binary_cross_entropy_with_logits, concat, no_grad
 from ..data import InteractionDataset
+from ..manifolds.constants import LOG_EPS
 from .base import Recommender, TrainConfig
 from .graph import BipartiteGraph
 
@@ -62,7 +63,7 @@ class AGCN(Recommender):
         for j in range(neg.shape[1]):
             vq = zv.take_rows(neg[:, j])
             neg_score = (u * vq).sum(axis=-1)
-            term = -((pos_score - neg_score).sigmoid().clamp(min_value=1e-10).log()).mean()
+            term = -((pos_score - neg_score).sigmoid().clamp(min_value=LOG_EPS).log()).mean()
             loss = term if loss is None else loss + term
         loss = loss / neg.shape[1]
         # Attribute-inference head on the batch's positive items.

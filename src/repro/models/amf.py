@@ -11,6 +11,7 @@ import numpy as np
 
 from ..autodiff import Parameter, Tensor, no_grad
 from ..data import InteractionDataset
+from ..manifolds.constants import LOG_EPS
 from .base import Recommender, TrainConfig
 
 __all__ = ["AMF"]
@@ -56,7 +57,7 @@ class AMF(Recommender):
         loss: Tensor | None = None
         for j in range(neg.shape[1]):
             neg_score = self._scores(users, neg[:, j])
-            term = -((pos_score - neg_score).sigmoid().clamp(min_value=1e-10).log()).mean()
+            term = -((pos_score - neg_score).sigmoid().clamp(min_value=LOG_EPS).log()).mean()
             loss = term if loss is None else loss + term
         return loss / neg.shape[1]
 

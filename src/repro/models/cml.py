@@ -13,6 +13,7 @@ import numpy as np
 
 from ..autodiff import Parameter, Tensor, hinge, no_grad
 from ..data import InteractionDataset
+from ..manifolds.constants import DIV_EPS
 from .base import Recommender, TrainConfig
 
 __all__ = ["CML", "CMLF"]
@@ -21,7 +22,7 @@ __all__ = ["CML", "CMLF"]
 def _clip_to_ball(data: np.ndarray, radius: float = 1.0) -> None:
     """Project rows into the L2 ball of the given radius, in place."""
     norms = np.linalg.norm(data, axis=-1, keepdims=True)
-    scale = np.minimum(1.0, radius / np.maximum(norms, 1e-12))
+    scale = np.minimum(1.0, radius / np.maximum(norms, DIV_EPS))
     data *= scale
 
 

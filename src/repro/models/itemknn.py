@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data import InteractionDataset, Split
+from ..manifolds.constants import DIV_EPS
 from .base import Recommender, TrainConfig
 
 __all__ = ["ItemKNN"]
@@ -42,7 +43,7 @@ class ItemKNN(Recommender):
         counts = np.diag(co).copy()
         np.fill_diagonal(co, 0.0)
         denom = np.sqrt(np.outer(counts, counts)) + self.shrinkage
-        sim = co / np.maximum(denom, 1e-12)
+        sim = co / np.maximum(denom, DIV_EPS)
         # Keep exactly each item's top-k neighbours (sparsify for robustness;
         # ties beyond the k-th are dropped deterministically).
         if self.k_neighbors < sim.shape[0]:

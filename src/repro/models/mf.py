@@ -12,6 +12,7 @@ import numpy as np
 
 from ..autodiff import Parameter, Tensor, no_grad
 from ..data import InteractionDataset, Split
+from ..manifolds.constants import LOG_EPS, MULT_UPDATE_EPS
 from .base import Recommender, TrainConfig
 
 __all__ = ["BPRMF", "NMF"]
@@ -43,7 +44,7 @@ class BPRMF(Recommender):
             vq = self.item_emb.take_rows(neg[:, j])
             bq = self.item_bias.take_rows(neg[:, j])
             diff = self._score(u, vp, bp) - self._score(u, vq, bq)
-            term = -(diff.sigmoid().clamp(min_value=1e-10).log()).mean()
+            term = -(diff.sigmoid().clamp(min_value=LOG_EPS).log()).mean()
             loss = term if loss is None else loss + term
         return loss / neg.shape[1]
 
@@ -68,7 +69,7 @@ class NMF(Recommender):
     def fit(self, split: Split | None = None) -> "NMF":
         """Run Lee–Seung multiplicative updates (Frobenius objective)."""
         X = self.train_data.interaction_matrix()  # sparse CSR
-        eps = 1e-9
+        eps = MULT_UPDATE_EPS
         for epoch in range(self.config.epochs):
             WH_H = (self.W @ self.H) @ self.H.T + eps
             self.W *= (X @ self.H.T) / WH_H

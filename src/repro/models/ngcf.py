@@ -10,6 +10,7 @@ import numpy as np
 
 from ..autodiff import Parameter, Tensor, concat, no_grad
 from ..data import InteractionDataset
+from ..manifolds.constants import LOG_EPS
 from .base import Recommender, TrainConfig
 from .graph import BipartiteGraph
 
@@ -57,7 +58,7 @@ class NGCF(Recommender):
         for j in range(neg.shape[1]):
             vq = zv.take_rows(neg[:, j])
             neg_score = (u * vq).sum(axis=-1)
-            term = -((pos_score - neg_score).sigmoid().clamp(min_value=1e-10).log()).mean()
+            term = -((pos_score - neg_score).sigmoid().clamp(min_value=LOG_EPS).log()).mean()
             loss = term if loss is None else loss + term
         return loss / neg.shape[1]
 

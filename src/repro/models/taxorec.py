@@ -33,6 +33,7 @@ import numpy as np
 
 from ..autodiff import Parameter, Tensor, concat, hinge, no_grad
 from ..data import InteractionDataset
+from ..manifolds.constants import BOUNDARY_EPS, DIV_EPS, MIN_NORM
 from ..manifolds import (
     Lorentz,
     PoincareBall,
@@ -132,7 +133,7 @@ class TaxoRec(Recommender):
             )
             directions = rng.normal(size=(train.n_tags, d_tg))
             directions /= np.maximum(
-                np.linalg.norm(directions, axis=1, keepdims=True), 1e-12
+                np.linalg.norm(directions, axis=1, keepdims=True), DIV_EPS
             )
             self.tag_emb = Parameter(self.ball.proj(directions), manifold=self.ball)
         else:
@@ -316,11 +317,11 @@ def _pairwise_sq_dist_euclid(u: np.ndarray, v: np.ndarray) -> np.ndarray:
 
 def _poincare_log0(x: Tensor) -> Tensor:
     """Differentiable Poincaré log map at the origin."""
-    norm = x.norm(axis=-1, keepdims=True, eps=1e-15).clamp(max_value=1.0 - 1e-5)
+    norm = x.norm(axis=-1, keepdims=True, eps=MIN_NORM).clamp(max_value=1.0 - BOUNDARY_EPS)
     return x * (norm.artanh() / norm)
 
 
 def _poincare_exp0(v: Tensor) -> Tensor:
     """Differentiable Poincaré exp map at the origin."""
-    norm = v.norm(axis=-1, keepdims=True, eps=1e-15)
+    norm = v.norm(axis=-1, keepdims=True, eps=MIN_NORM)
     return v * (norm.tanh() / norm)

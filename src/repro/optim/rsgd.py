@@ -20,6 +20,7 @@ import numpy as np
 
 from ..autodiff import Parameter
 from ..manifolds import Euclidean
+from ..manifolds.constants import MIN_NORM
 
 __all__ = ["RiemannianSGD"]
 
@@ -57,7 +58,9 @@ class RiemannianSGD:
                 # Per-row clipping keeps a single exploding example from
                 # catapulting a point toward the boundary.
                 norms = np.linalg.norm(egrad, axis=-1, keepdims=True)
-                scale = np.minimum(1.0, self.max_grad_norm / np.maximum(norms, 1e-15))
+                scale = np.minimum(1.0, self.max_grad_norm / np.maximum(norms, MIN_NORM))
                 egrad = egrad * scale
             rgrad = manifold.egrad2rgrad(p.data, egrad)
             p.data[...] = manifold.retract(p.data, -self.lr * rgrad)
+            # Debug-mode contract: active only under REPRO_CHECK_MANIFOLD=1.
+            manifold.check_point(p.data)

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..manifolds.constants import DIV_EPS
+
 __all__ = ["group_item_sets", "score_tags", "bm25_rank"]
 
 # BM25 constants, set empirically by the paper (§IV-C1).
@@ -64,8 +66,8 @@ def bm25_rank(item_tags: np.ndarray, tags: np.ndarray, item_set: np.ndarray) -> 
     tf_e = float(item_tags[item_set].sum())  # total tag assignments in E_k
     avgdl = tf_e / max(len(item_set), 1)  # average tags per item in E_k
     idf = np.log((tf_e - tf_t + 0.5) / (tf_t + 0.5) + 1.0)
-    denom = tf_t + K1 * (1.0 - B + B * tf_e / max(avgdl, 1e-12))
-    return idf * tf_t * (K1 + 1.0) / np.maximum(denom, 1e-12)
+    denom = tf_t + K1 * (1.0 - B + B * tf_e / max(avgdl, DIV_EPS))
+    return idf * tf_t * (K1 + 1.0) / np.maximum(denom, DIV_EPS)
 
 
 def score_tags(
@@ -105,7 +107,7 @@ def score_tags(
         sub = item_tags[items][:, group]
         tf_t = sub.sum(axis=0)
         tf_e = float(item_tags[items].sum())
-        con = np.log(tf_t + 1.0) / max(np.log(max(tf_e, 2.0)), 1e-12)
+        con = np.log(tf_t + 1.0) / max(np.log(max(tf_e, 2.0)), DIV_EPS)
 
         # Structure (Eq. 5): softmax of BM25 ranks over sibling groups.
         own_rank = bm25_rank(item_tags, group, items)

@@ -1,0 +1,14 @@
+"""Fixture: ops that never register a gradient."""
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+class HalfOp:
+    def forward(self, x):
+        return x * 0.5
+
+
+def detached_relu(x):
+    return Tensor._from_op(np.maximum(x.data, 0.0), (x,), None)

@@ -1,0 +1,20 @@
+"""Fixture: ops that pair every forward with a gradient."""
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+class HalfOp:
+    def forward(self, x):
+        return x * 0.5
+
+    def backward(self, g):
+        return g * 0.5
+
+
+def relu(x):
+    def vjp(g):
+        return (g * (x.data > 0),)
+
+    return Tensor._from_op(np.maximum(x.data, 0.0), (x,), vjp)

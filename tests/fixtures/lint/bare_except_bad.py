@@ -1,0 +1,9 @@
+"""Fixture: a bare except clause."""
+
+
+def read(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except:  # noqa: E722 (the fixture exists to trip repro-lint)
+        return None

@@ -1,0 +1,9 @@
+"""Fixture: a typed except clause."""
+
+
+def read(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError:
+        return None

@@ -1,0 +1,5 @@
+"""Fixture: print() is sanctioned in cli.py / __main__.py."""
+
+
+def main():
+    print("command line front ends may print")

@@ -1,0 +1,8 @@
+"""Fixture: calls into the process-global numpy RNG."""
+
+import numpy as np
+
+
+def sample(shape):
+    np.random.seed(0)
+    return np.random.rand(*shape)

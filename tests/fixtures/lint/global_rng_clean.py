@@ -1,0 +1,11 @@
+"""Fixture: randomness flows through an explicit Generator."""
+
+import numpy as np
+
+
+def sample(shape, rng: np.random.Generator):
+    return rng.normal(size=shape)
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)

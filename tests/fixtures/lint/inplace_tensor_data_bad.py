@@ -1,0 +1,6 @@
+"""Fixture: in-place writes to ``.data`` outside the optimisers."""
+
+
+def corrupt(tensor, values):
+    tensor.data[...] = values
+    tensor.data += 1.0

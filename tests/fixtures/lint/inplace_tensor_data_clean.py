@@ -1,0 +1,5 @@
+"""Fixture: build a fresh tensor instead of mutating the tape's storage."""
+
+
+def rebuild(tensor_cls, values):
+    return tensor_cls(values)

@@ -1,0 +1,9 @@
+"""Fixture: ad-hoc epsilon literals outside the constants module."""
+
+
+def floor_denominator(x):
+    eps = 1e-12
+    return x + eps
+
+
+SHELL_RADIUS = 1.0 - 1e-7

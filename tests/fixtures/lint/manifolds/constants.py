@@ -1,0 +1,4 @@
+"""Fixture: tiny literals are sanctioned inside manifolds/constants.py."""
+
+EPS = 1e-7
+MIN_NORM = 1e-15

@@ -1,0 +1,20 @@
+"""Fixture: every function here trips ``unclamped-boundary-op``."""
+
+import numpy as np
+
+
+def unguarded_sqrt(sq):
+    return np.sqrt(1.0 - sq)
+
+
+def unguarded_arccosh(inner):
+    return np.arccosh(-inner)
+
+
+def unguarded_norm_division(x):
+    norm = np.linalg.norm(x, axis=-1, keepdims=True)
+    return x / norm
+
+
+def unguarded_tensor_log(p):
+    return (1.0 - p).log()

@@ -1,0 +1,10 @@
+"""Fixture: mutable default arguments shared across calls."""
+
+
+def append_to(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(counts={}):
+    return counts

@@ -1,0 +1,11 @@
+"""Fixture: None defaults created inside the function."""
+
+
+def append_to(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def tally(counts=None):
+    return counts if counts is not None else {}

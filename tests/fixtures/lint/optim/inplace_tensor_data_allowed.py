@@ -1,0 +1,5 @@
+"""Fixture: the same write is sanctioned under an ``optim/`` path."""
+
+
+def apply_update(param, step):
+    param.data[...] = param.data - step

@@ -1,0 +1,5 @@
+"""Fixture: print() inside library code."""
+
+
+def report(metrics):
+    print(metrics)

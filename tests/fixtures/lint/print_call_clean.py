@@ -1,0 +1,7 @@
+"""Fixture: library code reports through the shared logger."""
+
+from repro.utils.logging import get_logger
+
+
+def report(metrics):
+    get_logger(__name__).info("metrics: %s", metrics)

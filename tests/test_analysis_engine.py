@@ -1,0 +1,177 @@
+"""Engine-level tests: suppressions, rule selection, reporters and exit codes."""
+
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Suppressions,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    get_rule,
+    render_json,
+    render_text,
+    write_report,
+)
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).parents[1]
+
+RULE_NAMES = {
+    "bare-except",
+    "global-rng",
+    "inplace-tensor-data",
+    "magic-epsilon",
+    "missing-backward",
+    "mutable-default-arg",
+    "print-call",
+    "unclamped-boundary-op",
+}
+
+TWO_EPSILONS = "A = 1e-12\nB = 1e-12\n"
+
+
+class TestSuppressions:
+    def test_trailing_comment_is_line_level(self):
+        supp = Suppressions.from_source("x = 1e-12  # repro-lint: disable=magic-epsilon\n")
+        assert supp.file_level == set()
+        assert supp.by_line == {1: {"magic-epsilon"}}
+
+    def test_standalone_comment_is_file_level(self):
+        supp = Suppressions.from_source("# repro-lint: disable=magic-epsilon, print-call\nx = 1\n")
+        assert supp.file_level == {"magic-epsilon", "print-call"}
+        assert supp.by_line == {}
+
+    def test_line_level_suppression_only_masks_its_line(self):
+        source = "A = 1e-12  # repro-lint: disable=magic-epsilon\nB = 1e-12\n"
+        violations = analyze_source(source, "src/repro/demo.py")
+        assert [(v.rule, v.line) for v in violations] == [("magic-epsilon", 2)]
+
+    def test_disable_all(self):
+        source = "# repro-lint: disable=all\n" + TWO_EPSILONS + "def f(b=[]):\n    return b\n"
+        assert analyze_source(source, "src/repro/demo.py") == []
+
+    def test_unsuppressed_source_reports_both_lines(self):
+        violations = analyze_source(TWO_EPSILONS, "src/repro/demo.py")
+        assert [v.line for v in violations] == [1, 2]
+
+
+class TestRuleSelection:
+    def test_all_rules_registered(self):
+        assert {rule.name for rule in all_rules()} == RULE_NAMES
+
+    def test_get_rule_roundtrip(self):
+        assert get_rule("magic-epsilon").name == "magic-epsilon"
+
+    def test_select_restricts_to_named_rules(self):
+        source = TWO_EPSILONS + "def f(b=[]):\n    return b\n"
+        violations = analyze_source(source, "src/repro/demo.py", select=["mutable-default-arg"])
+        assert [v.rule for v in violations] == ["mutable-default-arg"]
+
+    def test_ignore_drops_named_rules(self):
+        source = TWO_EPSILONS + "def f(b=[]):\n    return b\n"
+        violations = analyze_source(source, "src/repro/demo.py", ignore=["magic-epsilon"])
+        assert [v.rule for v in violations] == ["mutable-default-arg"]
+
+    def test_unknown_rule_raises_key_error(self):
+        with pytest.raises(KeyError, match="no-such-rule"):
+            analyze_source("x = 1\n", "src/repro/demo.py", select=["no-such-rule"])
+
+
+class TestSyntaxError:
+    def test_unparsable_source_reports_syntax_error_rule(self):
+        violations = analyze_source("def broken(:\n", "src/repro/demo.py")
+        assert len(violations) == 1
+        assert violations[0].rule == "syntax-error"
+        assert violations[0].line >= 1
+
+
+class TestReporting:
+    def test_text_report_contains_location_and_summary(self):
+        violations = analyze_source(TWO_EPSILONS, "src/repro/demo.py")
+        text = render_text(violations)
+        assert "src/repro/demo.py:1:5: magic-epsilon:" in text
+        assert "2 violation(s)" in text
+        assert "magic-epsilon=2" in text
+
+    def test_text_report_clean(self):
+        assert "no violations" in render_text([])
+
+    def test_json_report_structure(self):
+        violations = analyze_source(TWO_EPSILONS, "src/repro/demo.py")
+        payload = json.loads(render_json(violations))
+        assert payload["total"] == 2
+        assert payload["counts"] == {"magic-epsilon": 2}
+        first = payload["violations"][0]
+        assert first["rule"] == "magic-epsilon"
+        assert first["path"] == "src/repro/demo.py"
+        assert first["line"] == 1
+
+    def test_write_report_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="unknown report format"):
+            write_report([], io.StringIO(), fmt="xml")
+
+
+class TestCli:
+    def test_exit_zero_on_clean_file(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n")
+        out = io.StringIO()
+        assert main([str(clean)], stdout=out) == 0
+        assert "no violations" in out.getvalue()
+
+    def test_exit_one_on_violations(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(TWO_EPSILONS)
+        out = io.StringIO()
+        assert main([str(bad)], stdout=out) == 1
+        assert "magic-epsilon" in out.getvalue()
+        assert "bad.py:1:5" in out.getvalue()
+
+    def test_exit_two_on_missing_path(self):
+        assert main(["does/not/exist"], stdout=io.StringIO()) == 2
+
+    def test_exit_two_on_unknown_rule(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n")
+        assert main([str(clean), "--select", "bogus"], stdout=io.StringIO()) == 2
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        assert main(["--list-rules"], stdout=out) == 0
+        listing = out.getvalue()
+        for name in RULE_NAMES:
+            assert name in listing
+
+    def test_json_format_flag(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(TWO_EPSILONS)
+        out = io.StringIO()
+        assert main([str(bad), "--format", "json"], stdout=out) == 1
+        assert json.loads(out.getvalue())["total"] == 2
+
+    def test_analyze_paths_rejects_missing_entry(self):
+        with pytest.raises(FileNotFoundError):
+            analyze_paths(["does/not/exist"])
+
+
+def test_module_entry_point_subprocess(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(TWO_EPSILONS)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(bad)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1
+    assert "magic-epsilon" in proc.stdout

@@ -1,0 +1,78 @@
+"""Self-test: the repo's own source tree must stay violation-free.
+
+This is the tier-1 gate behind the lint engine — any new violation under
+``src/`` fails the test suite with the full report in the assertion message.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_paths, render_text
+
+REPO_ROOT = Path(__file__).parents[1]
+SRC = REPO_ROOT / "src"
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def test_repo_source_tree_is_violation_free():
+    violations = analyze_paths([SRC])
+    assert violations == [], "\n" + render_text(violations)
+
+
+def test_cli_exits_zero_on_src():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src"],
+        capture_output=True,
+        text=True,
+        env=_env(),
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "no violations" in proc.stdout
+
+
+def test_cli_exits_nonzero_on_violation_fixtures():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(FIXTURES)],
+        capture_output=True,
+        text=True,
+        env=_env(),
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    # The report names the rule and the file:line of each finding.
+    assert "unclamped-boundary-op" in proc.stdout
+    assert "missing-backward" in proc.stdout
+    assert "unclamped_boundary_op_bad.py:7:" in proc.stdout
+
+
+def test_cli_json_report_on_fixtures():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(FIXTURES), "--format", "json"],
+        capture_output=True,
+        text=True,
+        env=_env(),
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["total"] >= 8
+    assert set(payload["counts"]) == {
+        "bare-except",
+        "global-rng",
+        "inplace-tensor-data",
+        "magic-epsilon",
+        "missing-backward",
+        "mutable-default-arg",
+        "print-call",
+        "unclamped-boundary-op",
+    }

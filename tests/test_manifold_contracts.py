@@ -1,0 +1,148 @@
+"""Runtime manifold contract checks (REPRO_CHECK_MANIFOLD / check_point)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Parameter
+from repro.manifolds import (
+    Euclidean,
+    Lorentz,
+    ManifoldCheckError,
+    PoincareBall,
+    check_klein_point,
+)
+from repro.manifolds.base import manifold_checks_enabled
+from repro.optim import RiemannianSGD
+
+
+@pytest.fixture
+def checks_on(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK_MANIFOLD", "1")
+
+
+@pytest.fixture
+def checks_off(monkeypatch):
+    monkeypatch.delenv("REPRO_CHECK_MANIFOLD", raising=False)
+
+
+def test_env_toggle(monkeypatch):
+    monkeypatch.delenv("REPRO_CHECK_MANIFOLD", raising=False)
+    assert not manifold_checks_enabled()
+    for value in ("0", "false", "off", ""):
+        monkeypatch.setenv("REPRO_CHECK_MANIFOLD", value)
+        assert not manifold_checks_enabled()
+    for value in ("1", "true", "yes"):
+        monkeypatch.setenv("REPRO_CHECK_MANIFOLD", value)
+        assert manifold_checks_enabled()
+
+
+# ----------------------------------------------------------------------
+# Pass paths
+# ----------------------------------------------------------------------
+def test_poincare_valid_point_passes(checks_on):
+    ball = PoincareBall()
+    rng = np.random.default_rng(0)
+    x = ball.random((16, 4), rng)
+    assert ball.check_point(x) is x
+
+
+def test_lorentz_valid_point_passes(checks_on):
+    lorentz = Lorentz()
+    rng = np.random.default_rng(0)
+    x = lorentz.random((16, 5), rng)
+    assert lorentz.check_point(x) is x
+    assert lorentz.check_point(Lorentz.origin(4)) is not None
+
+
+def test_klein_valid_point_passes(checks_on):
+    x = np.full((3, 2), 0.3)
+    assert check_klein_point(x) is x
+
+
+def test_euclidean_accepts_anything_finite(checks_on):
+    x = np.array([[1e300, -42.0]])
+    assert Euclidean().check_point(x) is x
+
+
+# ----------------------------------------------------------------------
+# Fail paths
+# ----------------------------------------------------------------------
+def test_poincare_boundary_violation_raises(checks_on):
+    ball = PoincareBall()
+    bad = np.array([[0.9, 0.9]])  # norm > 1
+    with pytest.raises(ManifoldCheckError, match="poincare.*unit ball"):
+        ball.check_point(bad)
+
+
+def test_lorentz_constraint_violation_raises(checks_on):
+    lorentz = Lorentz()
+    bad = np.array([[2.0, 0.0, 0.0]])  # <x,x>_L = -4, not -1
+    with pytest.raises(ManifoldCheckError, match="lorentz.*deviates"):
+        lorentz.check_point(bad)
+
+
+def test_lorentz_lower_sheet_raises(checks_on):
+    lorentz = Lorentz()
+    bad = np.array([[-1.0, 0.0, 0.0]])  # satisfies <x,x>_L=-1 but x_0 < 0
+    with pytest.raises(ManifoldCheckError, match="upper sheet"):
+        lorentz.check_point(bad)
+
+
+def test_klein_violation_raises(checks_on):
+    with pytest.raises(ManifoldCheckError, match="klein"):
+        check_klein_point(np.array([[0.8, 0.8]]))
+
+
+def test_non_finite_raises(checks_on):
+    with pytest.raises(ManifoldCheckError, match="non-finite"):
+        Euclidean().check_point(np.array([np.nan, 1.0]))
+
+
+# ----------------------------------------------------------------------
+# Gating
+# ----------------------------------------------------------------------
+def test_disabled_is_noop_even_for_bad_points(checks_off):
+    bad = np.array([[5.0, 5.0]])
+    assert PoincareBall().check_point(bad) is bad
+    assert check_klein_point(bad) is bad
+
+
+def test_force_overrides_env(checks_off):
+    with pytest.raises(ManifoldCheckError):
+        PoincareBall().check_point(np.array([[5.0, 5.0]]), force=True)
+    with pytest.raises(ManifoldCheckError):
+        check_klein_point(np.array([[5.0, 5.0]]), force=True)
+
+
+def test_atol_respected(checks_on):
+    lorentz = Lorentz()
+    x = lorentz.proj(np.array([[0.0, 0.3, 0.1]]))
+    nudged = x + 1e-8  # tiny constraint violation
+    lorentz.check_point(nudged, atol=1e-4)
+    with pytest.raises(ManifoldCheckError):
+        lorentz.check_point(nudged, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Optimiser wiring
+# ----------------------------------------------------------------------
+def test_rsgd_step_checks_points(checks_on):
+    lorentz = Lorentz()
+    rng = np.random.default_rng(0)
+    p = Parameter(lorentz.random((8, 4), rng), manifold=lorentz)
+    p.grad = rng.normal(0.0, 0.1, size=p.shape)
+    RiemannianSGD([p], lr=0.05).step()  # retraction keeps the invariant
+    lorentz.check_point(p.data, force=True)
+
+
+def test_rsgd_step_raises_on_broken_retraction(checks_on):
+    class BrokenLorentz(Lorentz):
+        def retract(self, x, v):
+            return x + v  # skips proj: leaves the hyperboloid
+
+    manifold = BrokenLorentz()
+    rng = np.random.default_rng(0)
+    p = Parameter(manifold.random((4, 3), rng), manifold=manifold)
+    p.grad = np.ones(p.shape)
+    with pytest.raises(ManifoldCheckError):
+        RiemannianSGD([p], lr=1.0).step()

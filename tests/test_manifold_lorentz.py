@@ -95,6 +95,21 @@ class TestOriginMaps:
         x = lor.expmap0_np(z)
         np.testing.assert_allclose(lor.logmap0(Tensor(x)).data, lor.logmap0_np(x))
 
+    def test_expmap0_np_matches_tensor_path_exactly(self, rng):
+        # Both paths floor the divisor with the same sqrt(||z||^2 + MIN_NORM),
+        # so they must agree bit-for-bit — including at and near z = 0, where
+        # an unguarded norm would divide by zero.
+        for z in (
+            np.zeros((2, 3)),
+            np.full((2, 3), 1e-12),
+            rng.normal(scale=0.5, size=(4, 3)),
+            rng.normal(scale=20.0, size=(4, 3)),  # exercises the MAX_TANH_ARG clip
+        ):
+            out_np = lor.expmap0_np(z)
+            out_t = lor.expmap0(Tensor(z)).data
+            assert np.all(np.isfinite(out_np))
+            np.testing.assert_array_equal(out_np, out_t)
+
     def test_tensor_maps_gradcheck(self, rng):
         z = rng.normal(scale=0.5, size=(3, 3))
         check_gradients(lambda t: lor.expmap0(t).sum(), [z], atol=1e-4)
