@@ -19,4 +19,7 @@ else
     echo "ruff not installed; skipping (pip install -e .[lint])"
 fi
 
+echo "== bench smoke =="
+python -m repro.bench --quick --out benchmarks/results/BENCH_smoke.json
+
 echo "All checks passed."

@@ -486,6 +486,14 @@ class Tensor:
 
         return Tensor._from_op(data, (self,), vjp)
 
+    def arsinh(self) -> "Tensor":
+        """Inverse hyperbolic sine (domain is all of R; no clipping needed)."""
+
+        def vjp_factor(x, y):
+            return 1.0 / np.sqrt(x * x + 1.0)
+
+        return self._unary(np.arcsinh, vjp_factor)
+
     def artanh(self) -> "Tensor":
         """Inverse hyperbolic tangent; input clipped inside (-1, 1)."""
         # Mirrors manifolds.constants.MIN_NORM; see arcosh for the layering note.

@@ -1,0 +1,25 @@
+"""Benchmark harness: paired fast-vs-reference timings with JSON trajectories.
+
+See ``docs/BENCH.md`` for the result schema and how to add a benchmark.
+"""
+
+from .harness import (
+    SCHEMA,
+    BenchCase,
+    run_cases,
+    time_callable,
+    validate_result,
+    write_result,
+)
+from .hotpaths import HOTPATH_CASES, hotpath_cases
+
+__all__ = [
+    "SCHEMA",
+    "BenchCase",
+    "run_cases",
+    "time_callable",
+    "validate_result",
+    "write_result",
+    "HOTPATH_CASES",
+    "hotpath_cases",
+]

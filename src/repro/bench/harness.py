@@ -1,0 +1,208 @@
+"""Micro/macro benchmark harness: timed cases, JSON results, trajectories.
+
+The harness runs *paired* benchmarks: every case times its production fast
+path and (when present) the pinned ``*_reference`` implementation on the
+same prepared state, so each result carries a measured speedup that the
+differential test suite guarantees is numerics-preserving.
+
+Result files follow the ``repro.bench/v1`` schema (see
+:func:`validate_result` and ``docs/BENCH.md``) and are written as
+``BENCH_<suite>.json`` so repeated runs form a performance trajectory that
+can be diffed across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "BenchCase",
+    "SCHEMA",
+    "time_callable",
+    "run_cases",
+    "validate_result",
+    "write_result",
+]
+
+SCHEMA = "repro.bench/v1"
+
+
+@dataclass
+class BenchCase:
+    """One paired benchmark.
+
+    Parameters
+    ----------
+    name:
+        Dotted identifier, e.g. ``"evaluator.topk"``.
+    group:
+        Subsystem bucket (``"evaluator"``, ``"sampling"``, ...).
+    setup:
+        ``setup(quick) -> state``: build the workload.  ``quick`` selects a
+        CI-sized variant.  The returned state is shared by both paths.
+    fast:
+        ``fast(state)``: the production path under test.
+    reference:
+        Optional ``reference(state)``: the pinned slow twin; when present
+        the result records a speedup.
+    workload:
+        Optional ``workload(quick) -> dict`` describing sizes for the JSON
+        record (purely informational).
+    """
+
+    name: str
+    group: str
+    setup: Callable[[bool], Any]
+    fast: Callable[[Any], Any]
+    reference: Callable[[Any], Any] | None = None
+    workload: Callable[[bool], dict] | None = None
+
+
+@dataclass
+class _Timing:
+    times_s: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        arr = np.asarray(self.times_s, dtype=np.float64)
+        return {
+            "times_s": [float(t) for t in arr],
+            "best_s": float(arr.min()),
+            "mean_s": float(arr.mean()),
+            "std_s": float(arr.std()),
+        }
+
+
+def time_callable(
+    fn: Callable[[], Any], warmup: int = 1, repeats: int = 5
+) -> dict:
+    """Time ``fn`` with ``warmup`` discarded calls then ``repeats`` timed ones.
+
+    Returns the ``{"times_s", "best_s", "mean_s", "std_s"}`` dict of the
+    result schema.  ``best_s`` is the headline number: minimum wall-clock
+    over repeats, the standard low-noise estimator for microbenchmarks.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    timing = _Timing()
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timing.times_s.append(time.perf_counter() - start)
+    return timing.as_dict()
+
+
+def _environment() -> dict:
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def run_cases(
+    cases: list[BenchCase],
+    suite: str,
+    quick: bool = False,
+    warmup: int = 1,
+    repeats: int = 5,
+    only: str | None = None,
+) -> dict:
+    """Run benchmark cases and return a ``repro.bench/v1`` result document.
+
+    Parameters
+    ----------
+    cases:
+        The paired benchmarks to run.
+    suite:
+        Suite name recorded in the document (and the default file stem).
+    quick:
+        CI mode: small workloads; timings are recorded but meaningless for
+        trajectory comparisons (the document is flagged ``"quick": true``).
+    warmup, repeats:
+        Per-path timing protocol.
+    only:
+        Optional substring filter on case names.
+    """
+    selected = [c for c in cases if only is None or only in c.name]
+    records = []
+    for case in selected:
+        state = case.setup(quick)
+        record: dict[str, Any] = {
+            "name": case.name,
+            "group": case.group,
+            "workload": case.workload(quick) if case.workload else {},
+            "fast": time_callable(lambda: case.fast(state), warmup, repeats),
+            "reference": None,
+            "speedup": None,
+        }
+        if case.reference is not None:
+            record["reference"] = time_callable(
+                lambda: case.reference(state), warmup, repeats
+            )
+            record["speedup"] = record["reference"]["best_s"] / max(
+                record["fast"]["best_s"], sys.float_info.min
+            )
+        records.append(record)
+    return {
+        "schema": SCHEMA,
+        "suite": suite,
+        "quick": bool(quick),
+        "created_unix": time.time(),
+        "environment": _environment(),
+        "config": {"warmup": int(warmup), "repeats": int(repeats)},
+        "benchmarks": records,
+    }
+
+
+def validate_result(result: dict) -> list[str]:
+    """Structural validation of a ``repro.bench/v1`` document.
+
+    Returns a list of human-readable problems (empty when valid) — used by
+    the harness tests and the CI smoke job.
+    """
+    problems: list[str] = []
+    if not isinstance(result, dict):
+        return ["result is not an object"]
+    if result.get("schema") != SCHEMA:
+        problems.append(f"schema is {result.get('schema')!r}, expected {SCHEMA!r}")
+    for key in ("suite", "quick", "created_unix", "environment", "config", "benchmarks"):
+        if key not in result:
+            problems.append(f"missing top-level key {key!r}")
+    for i, record in enumerate(result.get("benchmarks", []) or []):
+        where = f"benchmarks[{i}]"
+        for key in ("name", "group", "fast", "reference", "speedup"):
+            if key not in record:
+                problems.append(f"{where} missing key {key!r}")
+        for side in ("fast", "reference"):
+            timing = record.get(side)
+            if timing is None:
+                continue
+            for key in ("times_s", "best_s", "mean_s", "std_s"):
+                if key not in timing:
+                    problems.append(f"{where}.{side} missing key {key!r}")
+            times = timing.get("times_s", [])
+            if not times or any(t < 0 for t in times):
+                problems.append(f"{where}.{side}.times_s must be non-empty, non-negative")
+        if record.get("reference") is not None and not record.get("speedup"):
+            problems.append(f"{where} has a reference timing but no speedup")
+    return problems
+
+
+def write_result(result: dict, path) -> None:
+    """Write a result document as pretty-printed JSON (validating first)."""
+    problems = validate_result(result)
+    if problems:
+        raise ValueError("invalid bench result: " + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -1,0 +1,222 @@
+"""The hot-path benchmark suite: vectorised paths vs pinned references.
+
+Each case pairs a production code path with the ``*_reference``
+implementation that the differential test suite
+(``tests/test_vectorized_vs_reference.py``) proves numerically equivalent,
+so every reported speedup is a *safe* speedup.
+
+Workloads are seeded synthetic data shaped like the paper's datasets
+(scaled down); ``quick`` variants are CI-sized smoke workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, no_grad
+from ..data import SyntheticConfig, TripletSampler, generate, temporal_split
+from ..eval import evaluate, rank_topk
+from ..eval.evaluator import evaluate_reference
+from ..eval.metrics import rank_topk_reference
+from ..manifolds import (
+    PoincareBall,
+    einstein_midpoint_batch,
+    einstein_midpoint_batch_reference_np,
+)
+from ..models.graph import BipartiteGraph
+from ..taxonomy import poincare_kmeans
+from ..taxonomy.clustering import poincare_kmeans_reference
+from ..utils import ensure_rng
+from .harness import BenchCase
+
+__all__ = ["HOTPATH_CASES", "hotpath_cases"]
+
+_BALL = PoincareBall()
+
+
+class _FixedScores:
+    """Evaluator workload model: a frozen random score matrix."""
+
+    def __init__(self, n_users: int, n_items: int, seed: int = 0):
+        rng = ensure_rng(seed)
+        self.scores = rng.normal(size=(n_users, n_items))
+
+    def score_users(self, users):
+        return self.scores[np.asarray(users)]
+
+
+# ----------------------------------------------------------------------
+# Case builders
+# ----------------------------------------------------------------------
+def _topk_sizes(quick: bool) -> dict:
+    return {"n_users": 48, "n_items": 600, "k": 10} if quick else {
+        "n_users": 384,
+        "n_items": 6000,
+        "k": 20,
+    }
+
+
+def _topk_setup(quick: bool):
+    sizes = _topk_sizes(quick)
+    rng = ensure_rng(0)
+    scores = rng.normal(size=(sizes["n_users"], sizes["n_items"]))
+    # Quantise a slice so the tiebreak path is exercised under timing too.
+    scores[:, : sizes["n_items"] // 4] = np.round(
+        scores[:, : sizes["n_items"] // 4], 1
+    )
+    return {"scores": scores, "k": sizes["k"]}
+
+
+def _dataset_sizes(quick: bool) -> dict:
+    return {"n_users": 40, "n_items": 60} if quick else {"n_users": 220, "n_items": 320}
+
+
+def _evaluate_setup(quick: bool):
+    sizes = _dataset_sizes(quick)
+    ds = generate(
+        SyntheticConfig(
+            n_users=sizes["n_users"],
+            n_items=sizes["n_items"],
+            seed=11,
+            name="bench",
+        )
+    )
+    split = temporal_split(ds)
+    model = _FixedScores(ds.n_users, ds.n_items, seed=3)
+    return {"split": split, "model": model}
+
+
+def _sampling_sizes(quick: bool) -> dict:
+    return {"n_users": 40, "n_items": 60, "n_each": 5} if quick else {
+        "n_users": 250,
+        "n_items": 400,
+        "n_each": 5,
+    }
+
+
+def _sampling_setup(quick: bool):
+    sizes = _sampling_sizes(quick)
+    train = generate(
+        SyntheticConfig(
+            n_users=sizes["n_users"], n_items=sizes["n_items"], seed=13, name="bench"
+        )
+    )
+    sampler = TripletSampler(train, seed=0)
+    users = np.tile(np.arange(train.n_users), 4)
+    return {"sampler": sampler, "users": users, "n_each": sizes["n_each"]}
+
+
+def _midpoint_sizes(quick: bool) -> dict:
+    return {"n_items": 200, "n_tags": 40, "dim": 8} if quick else {
+        "n_items": 4000,
+        "n_tags": 200,
+        "dim": 16,
+    }
+
+
+def _midpoint_setup(quick: bool):
+    sizes = _midpoint_sizes(quick)
+    rng = ensure_rng(5)
+    klein = _BALL.proj(rng.normal(0.0, 0.2, size=(sizes["n_tags"], sizes["dim"])))
+    psi = (rng.random((sizes["n_items"], sizes["n_tags"])) < 0.05).astype(np.float64)
+    return {"klein": klein, "psi": psi}
+
+
+def _gcn_setup(quick: bool):
+    sizes = _dataset_sizes(quick)
+    train = generate(
+        SyntheticConfig(
+            n_users=sizes["n_users"], n_items=sizes["n_items"], seed=17, name="bench"
+        )
+    )
+    graph = BipartiteGraph(train)
+    rng = ensure_rng(2)
+    user_x = Tensor(rng.normal(size=(train.n_users, 16)))
+    item_x = Tensor(rng.normal(size=(train.n_items, 16)))
+    return {"graph": graph, "user_x": user_x, "item_x": item_x}
+
+
+def _kmeans_sizes(quick: bool) -> dict:
+    return {"n": 90, "dim": 4, "k": 4} if quick else {"n": 600, "dim": 8, "k": 8}
+
+
+def _kmeans_setup(quick: bool):
+    sizes = _kmeans_sizes(quick)
+    rng = ensure_rng(9)
+    points = _BALL.proj(rng.normal(0.0, 0.3, size=(sizes["n"], sizes["dim"])))
+    init = points[rng.choice(sizes["n"], size=sizes["k"], replace=False)]
+    return {"points": points, "k": sizes["k"], "init": init}
+
+
+def hotpath_cases() -> list[BenchCase]:
+    """Build the hot-path suite (fresh state factories each call)."""
+    return [
+        BenchCase(
+            name="evaluator.topk",
+            group="evaluator",
+            setup=_topk_setup,
+            fast=lambda s: rank_topk(s["scores"], s["k"]),
+            reference=lambda s: rank_topk_reference(s["scores"], s["k"]),
+            workload=_topk_sizes,
+        ),
+        BenchCase(
+            name="evaluator.evaluate",
+            group="evaluator",
+            setup=_evaluate_setup,
+            fast=lambda s: evaluate(s["model"], s["split"]),
+            reference=lambda s: evaluate_reference(s["model"], s["split"]),
+            workload=_dataset_sizes,
+        ),
+        BenchCase(
+            name="sampling.negatives",
+            group="sampling",
+            setup=_sampling_setup,
+            fast=lambda s: s["sampler"].sample_negatives(s["users"], s["n_each"]),
+            reference=lambda s: s["sampler"].sample_negatives_reference(
+                s["users"], s["n_each"]
+            ),
+            workload=_sampling_sizes,
+        ),
+        BenchCase(
+            name="taxorec.einstein_midpoint",
+            group="taxorec",
+            setup=_midpoint_setup,
+            fast=lambda s: einstein_midpoint_batch(
+                Tensor(s["klein"]), Tensor(s["psi"])
+            ).data,
+            reference=lambda s: einstein_midpoint_batch_reference_np(
+                s["klein"], s["psi"]
+            ),
+            workload=_midpoint_sizes,
+        ),
+        BenchCase(
+            name="taxorec.gcn_propagation",
+            group="taxorec",
+            setup=_gcn_setup,
+            fast=lambda s: _run_gcn(s, reference=False),
+            reference=lambda s: _run_gcn(s, reference=True),
+            workload=_dataset_sizes,
+        ),
+        BenchCase(
+            name="clustering.poincare_kmeans",
+            group="clustering",
+            setup=_kmeans_setup,
+            fast=lambda s: poincare_kmeans(
+                s["points"], s["k"], rng=0, n_iter=10, init_centroids=s["init"]
+            ),
+            reference=lambda s: poincare_kmeans_reference(
+                s["points"], s["k"], rng=0, n_iter=10, init_centroids=s["init"]
+            ),
+            workload=_kmeans_sizes,
+        ),
+    ]
+
+
+def _run_gcn(state, reference: bool):
+    with no_grad():
+        return state["graph"].residual_gcn(
+            state["user_x"], state["item_x"], n_layers=3, reference=reference
+        )
+
+
+HOTPATH_CASES = hotpath_cases()

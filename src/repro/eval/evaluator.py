@@ -1,4 +1,16 @@
-"""Held-out ranking evaluation over a temporal split."""
+"""Held-out ranking evaluation over a temporal split.
+
+Two implementations of the same protocol live here:
+
+* :func:`evaluate` — the production path: user-chunked score matrices,
+  CSR-vectorised masking of earlier-phase items, and the deterministic
+  batched top-K of :func:`repro.eval.metrics.rank_topk`.
+* :func:`evaluate_reference` — a deliberately naive per-user / per-item
+  Python loop with identical semantics (same masking, same
+  ``(-score, item_id)`` tie rule).  It exists purely as the correctness
+  anchor for the differential test suite and the ``repro.bench`` speedup
+  trajectory; never use it for real workloads.
+"""
 
 from __future__ import annotations
 
@@ -7,9 +19,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data import InteractionDataset, Split
-from .metrics import ndcg_at_k, rank_topk, recall_at_k
+from .metrics import (
+    ndcg_at_k,
+    ndcg_at_k_reference,
+    rank_topk,
+    rank_topk_reference,
+    recall_at_k,
+    recall_at_k_reference,
+)
 
-__all__ = ["EvalResult", "evaluate", "held_out_positives"]
+__all__ = ["EvalResult", "evaluate", "evaluate_reference", "held_out_positives"]
 
 
 @dataclass
@@ -44,6 +63,22 @@ def held_out_positives(dataset: InteractionDataset) -> list[np.ndarray]:
     return dataset.items_of_user()
 
 
+def _eval_setup(split: Split, on: str):
+    """Shared preamble: held-out positives, mask CSR, evaluated-user set."""
+    if on not in ("test", "valid"):
+        raise ValueError("on must be 'test' or 'valid'")
+    target = split.test if on == "test" else split.valid
+    positives = held_out_positives(target)
+
+    mask = split.train.interaction_matrix()
+    if on == "test":
+        mask = mask + split.valid.interaction_matrix()
+    mask = mask.tocsr()
+
+    users = np.array([u for u in range(target.n_users) if len(positives[u])], dtype=np.int64)
+    return positives, mask, users
+
+
 def evaluate(
     model,
     split: Split,
@@ -67,24 +102,17 @@ def evaluate(
     on:
         ``"test"`` or ``"valid"``.
     """
-    if on not in ("test", "valid"):
-        raise ValueError("on must be 'test' or 'valid'")
-    target = split.test if on == "test" else split.valid
-    positives = held_out_positives(target)
-
-    mask_sets = split.train.items_of_user()
-    if on == "test":
-        valid_sets = split.valid.items_of_user()
-        mask_sets = [np.concatenate([a, b]) for a, b in zip(mask_sets, valid_sets)]
-
-    users = np.array([u for u in range(target.n_users) if len(positives[u])], dtype=np.int64)
+    positives, mask, users = _eval_setup(split, on)
     k_max = min(max(ks), split.train.n_items)
     all_topk = np.zeros((len(users), k_max), dtype=np.int64)
     for start in range(0, len(users), batch_users):
         batch = users[start : start + batch_users]
         scores = np.asarray(model.score_users(batch), dtype=np.float64)
-        for i, u in enumerate(batch):
-            scores[i, mask_sets[u]] = -np.inf
+        # Flat (row, col) coordinates of every masked entry in the batch,
+        # straight from the CSR row slices — no per-user Python loop.
+        sub = mask[batch]
+        rows = np.repeat(np.arange(len(batch)), np.diff(sub.indptr))
+        scores[rows, sub.indices] = -np.inf
         all_topk[start : start + len(batch)] = rank_topk(scores, k_max)
 
     pos = [positives[u] for u in users]
@@ -93,4 +121,35 @@ def evaluate(
         recall_at_20=recall_at_k(all_topk, pos, ks[1]),
         ndcg_at_10=ndcg_at_k(all_topk, pos, ks[0]),
         ndcg_at_20=ndcg_at_k(all_topk, pos, ks[1]),
+    )
+
+
+def evaluate_reference(
+    model,
+    split: Split,
+    on: str = "test",
+    ks: tuple[int, int] = (10, 20),
+) -> EvalResult:
+    """Per-user loop twin of :func:`evaluate` (correctness anchor, slow).
+
+    Scores one user at a time, masks with a Python loop, ranks with the
+    pure-Python ``rank_topk_reference`` and aggregates with the loop-based
+    reference metrics.  Differential tests assert agreement with
+    :func:`evaluate` to 1e-10.
+    """
+    positives, mask, users = _eval_setup(split, on)
+    k_max = min(max(ks), split.train.n_items)
+    all_topk = np.zeros((len(users), k_max), dtype=np.int64)
+    for i, u in enumerate(users):
+        scores = np.asarray(model.score_users(np.array([u])), dtype=np.float64)[0]
+        for v in mask[int(u)].indices:
+            scores[v] = -np.inf
+        all_topk[i] = rank_topk_reference(scores[None, :], k_max)[0]
+
+    pos = [positives[u] for u in users]
+    return EvalResult(
+        recall_at_10=recall_at_k_reference(all_topk, pos, ks[0]),
+        recall_at_20=recall_at_k_reference(all_topk, pos, ks[1]),
+        ndcg_at_10=ndcg_at_k_reference(all_topk, pos, ks[0]),
+        ndcg_at_20=ndcg_at_k_reference(all_topk, pos, ks[1]),
     )

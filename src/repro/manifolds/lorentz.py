@@ -128,12 +128,16 @@ class Lorentz(Manifold):
         """log_o(x) as a *spatial* d-vector (the time component is zero).
 
         At the origin o = (1, 0, ..., 0), Eq. 12 reduces to
-        z = arcosh(x_0) * x_{1:} / ||x_{1:}||.
+        z = arcosh(x_0) * x_{1:} / ||x_{1:}||.  Since hyperboloid points
+        satisfy x_0^2 - ||x_{1:}||^2 = 1, arcosh(x_0) = arsinh(||x_{1:}||),
+        and the arsinh form is the one computed here: it stays accurate for
+        points near the origin, where arcosh(x_0 ≈ 1) loses half the
+        mantissa to cancellation (a one-ulp rounding of x_0 shifts the
+        result by ~1e-8).
         """
-        x0 = x[..., :1]
         spatial = x[..., 1:]
         sp_norm = spatial.norm(axis=-1, keepdims=True, eps=_MIN_NORM)
-        scale = x0.clamp(min_value=1.0).arcosh() / sp_norm
+        scale = sp_norm.arsinh() / sp_norm
         return spatial * scale
 
     def expmap0(self, z: Tensor) -> Tensor:
@@ -149,11 +153,10 @@ class Lorentz(Manifold):
         return concat([time, spatial], axis=-1)
 
     def logmap0_np(self, x: np.ndarray) -> np.ndarray:
-        """NumPy twin of :meth:`logmap0`."""
-        x0 = np.maximum(x[..., :1], 1.0)
+        """NumPy twin of :meth:`logmap0` (same arsinh form, same guard)."""
         spatial = x[..., 1:]
         sp_norm = np.maximum(np.linalg.norm(spatial, axis=-1, keepdims=True), _MIN_NORM)
-        return np.arccosh(x0) * spatial / sp_norm
+        return np.arcsinh(sp_norm) * spatial / sp_norm
 
     def expmap0_np(self, z: np.ndarray) -> np.ndarray:
         """NumPy twin of :meth:`expmap0`.

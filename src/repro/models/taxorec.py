@@ -47,7 +47,7 @@ from ..taxonomy import Taxonomy, build_taxonomy, taxonomy_regularizer
 from .base import Recommender, TrainConfig
 from .graph import BipartiteGraph
 
-__all__ = ["TaxoRec", "personalized_tag_weights"]
+__all__ = ["TaxoRec", "personalized_tag_weights", "personalized_tag_weights_reference"]
 
 
 def personalized_tag_weights(train: InteractionDataset) -> np.ndarray:
@@ -57,13 +57,32 @@ def personalized_tag_weights(train: InteractionDataset) -> np.ndarray:
     repeat the same tags get α near 1 (consistent tag-driven preference),
     users with disjoint tag sets get α near 1/|V_u|.  Users without train
     interactions default to 0.5.
+
+    Computed in one pass over the interaction CSR: per-user tag totals are
+    ``X @ |T_v|`` and per-user tag unions count the nonzeros of
+    ``X @ Ψ``; the per-user Python loop survives as
+    :func:`personalized_tag_weights_reference`.
     """
+    x = train.interaction_matrix()  # binary (n_users, n_items) CSR
+    n_per_user = np.asarray(x.sum(axis=1)).ravel()
+    tag_counts = train.item_tags.sum(axis=1)
+    totals = np.asarray(x @ tag_counts).ravel()
+    unions = np.asarray((np.asarray(x @ train.item_tags) > 0).sum(axis=1)).ravel()
+    alpha = np.full(train.n_users, 0.5)
+    ok = (n_per_user > 0) & (unions > 0)
+    alpha[ok] = totals[ok] / (n_per_user[ok] * unions[ok])
+    return np.clip(alpha, 0.0, 1.0)
+
+
+def personalized_tag_weights_reference(train: InteractionDataset) -> np.ndarray:
+    """Per-user loop twin of :func:`personalized_tag_weights`."""
     alpha = np.full(train.n_users, 0.5)
     per_user = train.items_of_user()
     tag_counts = train.item_tags.sum(axis=1)
     for u, items in enumerate(per_user):
         if len(items) == 0:
             continue
+        items = np.unique(items)
         total = tag_counts[items].sum()
         union = (train.item_tags[items].sum(axis=0) > 0).sum()
         if union == 0:
