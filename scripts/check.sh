@@ -22,4 +22,7 @@ fi
 echo "== bench smoke =="
 python -m repro.bench --quick --out benchmarks/results/BENCH_smoke.json
 
+echo "== train smoke =="
+python scripts/train_smoke.py
+
 echo "All checks passed."

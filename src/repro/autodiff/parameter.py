@@ -64,7 +64,12 @@ class Module:
         return int(sum(p.size for p in self.parameters()))
 
     def state_dict(self) -> dict[str, np.ndarray]:
-        """Flat name → array snapshot (copies) for checkpointing."""
+        """Flat name → array snapshot (copies) for checkpointing.
+
+        Parameters held in list/tuple attributes (e.g. per-layer weight
+        stacks) are named by index — ``W_self.0``, ``W_self.1`` — so the
+        snapshot covers exactly the parameters :meth:`parameters` yields.
+        """
         state = {}
         for name, value in vars(self).items():
             if isinstance(value, Parameter):
@@ -72,6 +77,13 @@ class Module:
             elif isinstance(value, Module):
                 for sub, arr in value.state_dict().items():
                     state[f"{name}.{sub}"] = arr
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        state[f"{name}.{i}"] = item.data.copy()
+                    elif isinstance(item, Module):
+                        for sub, arr in item.state_dict().items():
+                            state[f"{name}.{i}.{sub}"] = arr
         return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
@@ -79,6 +91,9 @@ class Module:
         for name, arr in state.items():
             head, _, rest = name.partition(".")
             target = getattr(self, head)
+            while isinstance(target, (list, tuple)):
+                index, _, rest = rest.partition(".")
+                target = target[int(index)]
             if rest:
                 target.load_state_dict({rest: arr})
             else:

@@ -78,6 +78,22 @@ class TripletSampler:
         self._code_starts = np.concatenate([[0], np.cumsum(counts)])
 
     # ------------------------------------------------------------------
+    # RNG-state capture (checkpoint/resume support)
+    # ------------------------------------------------------------------
+    def get_rng_state(self) -> dict:
+        """JSON-serialisable snapshot of the sampler's generator state.
+
+        Capturing/restoring this state makes an interrupted epoch stream
+        resume bit-identically: the shuffle permutations and negative draws
+        after :meth:`set_rng_state` match an uninterrupted run exactly.
+        """
+        return self.rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a :meth:`get_rng_state` snapshot in place."""
+        self.rng.bit_generator.state = state
+
+    # ------------------------------------------------------------------
     def _collides(self, users: np.ndarray, candidates: np.ndarray) -> np.ndarray:
         """Boolean mask of candidate entries that hit a forbidden pair."""
         codes = users.astype(np.int64)[:, None] * self.train.n_items + candidates

@@ -1,9 +1,15 @@
-"""Shared recommender API and training loop.
+"""Shared recommender API.
 
 Every model (TaxoRec and all 14 baselines) implements three hooks —
 :meth:`Recommender.loss_batch`, :meth:`Recommender.score_users` and
 optionally :meth:`Recommender.begin_epoch` — and inherits a common
 triplet-sampled training loop with validation-based early stopping.
+
+The loop itself lives in :mod:`repro.train`: :meth:`Recommender.fit` is a
+thin shim that builds a default :class:`repro.train.Trainer` whose callback
+stack (model epoch hooks, best-validation snapshot, patience early
+stopping, verbose logging) reproduces the historical inline loop
+bit-for-bit — same RNG consumption order, so seeded metrics match.
 """
 
 from __future__ import annotations
@@ -12,13 +18,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..autodiff import Module, Tensor, no_grad
-from ..data import InteractionDataset, Split, TripletSampler
-from ..utils import ensure_rng, get_logger
+from ..autodiff import Module, Tensor
+from ..data import InteractionDataset, Split
+from ..utils import ensure_rng
 
 __all__ = ["TrainConfig", "Recommender"]
-
-_LOG = get_logger("repro.models")
 
 
 @dataclass
@@ -88,8 +92,20 @@ class Recommender(Module):
 
         return Adam(list(self.parameters()), lr=self.config.lr, weight_decay=self.config.weight_decay)
 
+    def extra_state(self) -> dict:
+        """JSON-serialisable non-parameter state for checkpoints.
+
+        Models with derived structures the loss depends on (TaxoRec's
+        taxonomy) override this together with :meth:`load_extra_state` so
+        checkpoint → resume reproduces training bit-identically.
+        """
+        return {}
+
+    def load_extra_state(self, state: dict) -> None:
+        """Restore an :meth:`extra_state` snapshot (default: nothing)."""
+
     # ------------------------------------------------------------------
-    # Training loop
+    # Training
     # ------------------------------------------------------------------
     def fit(self, split: Split | None = None) -> "Recommender":
         """Train on the construction-time dataset.
@@ -100,53 +116,11 @@ class Recommender(Module):
             Optional; required only when ``config.eval_every > 0`` for
             validation-based early stopping (best validation snapshot is
             restored at the end).
+
+        For checkpointing, run artifacts or custom callbacks, build a
+        :class:`repro.train.Trainer` directly instead of calling this shim.
         """
-        config = self.config
-        sampler = TripletSampler(
-            self.train_data, n_negatives=config.n_negatives, seed=self.rng
-        )
-        optimizer = self.make_optimizer()
-        best_score = -np.inf
-        best_state: dict | None = None
-        bad_rounds = 0
+        from ..train import Trainer
 
-        for epoch in range(config.epochs):
-            self.begin_epoch(epoch)
-            epoch_loss = 0.0
-            n_batches = 0
-            for users, pos, neg in sampler.epoch(config.batch_size):
-                optimizer.zero_grad()
-                loss = self.loss_batch(users, pos, neg)
-                loss.backward()
-                optimizer.step()
-                epoch_loss += loss.item()
-                n_batches += 1
-            self.end_epoch(epoch)
-            record = {"epoch": epoch, "loss": epoch_loss / max(n_batches, 1)}
-
-            if config.eval_every and split is not None and (epoch + 1) % config.eval_every == 0:
-                from ..eval import evaluate
-
-                with no_grad():
-                    result = evaluate(self, split, on="valid")
-                record["valid"] = result.mean()
-                if result.mean() > best_score:
-                    best_score = result.mean()
-                    best_state = self.state_dict()
-                    bad_rounds = 0
-                else:
-                    bad_rounds += 1
-                if config.verbose:
-                    _LOG.info(
-                        "%s epoch %d loss %.4f valid %.4f", self.name, epoch, record["loss"], result.mean()
-                    )
-                if bad_rounds > config.patience:
-                    self.history.append(record)
-                    break
-            elif config.verbose:
-                _LOG.info("%s epoch %d loss %.4f", self.name, epoch, record["loss"])
-            self.history.append(record)
-
-        if best_state is not None:
-            self.load_state_dict(best_state)
+        Trainer(self, split=split).fit()
         return self

@@ -290,6 +290,32 @@ class TaxoRec(Recommender):
         return self.taxonomy
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def extra_state(self) -> dict:
+        """Serialise the currently constructed taxonomy for checkpoints.
+
+        The taxonomy is rebuilt only every ``taxo_rebuild_every`` epochs,
+        so a resumed run must restore the *same* tree or λ·L_reg (and with
+        it every gradient until the next rebuild) would diverge.  Fixed
+        (caller-supplied) taxonomies are not serialised — they are part of
+        the model's construction arguments.
+        """
+        if self.taxonomy is None or self._fixed_taxonomy:
+            return {}
+        from ..taxonomy.export import to_dict
+
+        return {"taxonomy": to_dict(self.taxonomy)}
+
+    def load_extra_state(self, state: dict) -> None:
+        """Restore an :meth:`extra_state` taxonomy snapshot."""
+        doc = state.get("taxonomy")
+        if doc is not None and not self._fixed_taxonomy:
+            from ..taxonomy.export import from_dict
+
+            self.taxonomy = from_dict(doc)
+
+    # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
     def score_users(self, users) -> np.ndarray:

@@ -64,3 +64,10 @@ class RiemannianSGD:
             p.data[...] = manifold.retract(p.data, -self.lr * rgrad)
             # Debug-mode contract: active only under REPRO_CHECK_MANIFOLD=1.
             manifold.check_point(p.data)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """RSGD is stateless: resume needs only parameters and RNG state."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Nothing to restore (see :meth:`state_dict`)."""

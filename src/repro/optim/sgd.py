@@ -47,6 +47,18 @@ class SGD:
                 grad = self._velocity[i]
             p.data -= self.lr * grad
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Per-parameter momentum buffers, keyed by parameter index."""
+        return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` buffers (shapes must match)."""
+        for i, v in enumerate(self._velocity):
+            arr = state[f"velocity.{i}"]
+            if arr.shape != v.shape:
+                raise ValueError(f"shape mismatch for velocity.{i}: {v.shape} vs {arr.shape}")
+            v[...] = arr
+
 
 class Adam:
     """Adam (Kingma & Ba 2015) for Euclidean parameters."""
@@ -92,3 +104,23 @@ class Adam:
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Step counter plus per-parameter first/second moment buffers."""
+        state: dict[str, np.ndarray] = {"t": np.asarray(self._t, dtype=np.int64)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` buffers (shapes must match)."""
+        self._t = int(state["t"])
+        for i in range(len(self.params)):
+            for slot, buffers in (("m", self._m), ("v", self._v)):
+                arr = state[f"{slot}.{i}"]
+                if arr.shape != buffers[i].shape:
+                    raise ValueError(
+                        f"shape mismatch for {slot}.{i}: {buffers[i].shape} vs {arr.shape}"
+                    )
+                buffers[i][...] = arr

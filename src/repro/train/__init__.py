@@ -1,0 +1,69 @@
+"""Training engine: callback-driven Trainer, checkpoints, runs, sweeps.
+
+See ``docs/TRAIN.md`` for the Trainer/callback API, the ``repro.run/v1``
+artifact schema and resume semantics.
+"""
+
+from .callbacks import (
+    BestSnapshot,
+    Callback,
+    Checkpointer,
+    EarlyStopping,
+    EpochLogger,
+    ModelHooks,
+    ThroughputMeter,
+    default_callbacks,
+)
+from .engine import (
+    CKPT_SCHEMA,
+    Checkpoint,
+    Trainer,
+    TrainState,
+    load_checkpoint,
+    save_checkpoint,
+    snapshot_state_dict,
+)
+from .experiment import (
+    EXPERIMENT_SCHEMA,
+    ExperimentResult,
+    cell_dir_name,
+    comparison_table,
+    run_experiment,
+)
+from .run import (
+    RUN_SCHEMA,
+    HistoryWriter,
+    RunDir,
+    RunOutcome,
+    execute_run,
+    validate_run_result,
+)
+
+__all__ = [
+    "Trainer",
+    "TrainState",
+    "Checkpoint",
+    "CKPT_SCHEMA",
+    "save_checkpoint",
+    "load_checkpoint",
+    "snapshot_state_dict",
+    "Callback",
+    "ModelHooks",
+    "BestSnapshot",
+    "EarlyStopping",
+    "EpochLogger",
+    "ThroughputMeter",
+    "Checkpointer",
+    "default_callbacks",
+    "RUN_SCHEMA",
+    "RunDir",
+    "HistoryWriter",
+    "RunOutcome",
+    "execute_run",
+    "validate_run_result",
+    "EXPERIMENT_SCHEMA",
+    "ExperimentResult",
+    "cell_dir_name",
+    "comparison_table",
+    "run_experiment",
+]

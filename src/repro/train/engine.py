@@ -1,0 +1,279 @@
+"""Callback-driven training engine.
+
+This module extracts the epoch/batch loop that historically lived inside
+``Recommender.fit`` into a reusable :class:`Trainer`:
+
+* the loop owns a :class:`TrainState` — epoch cursor, per-epoch history,
+  best-validation bookkeeping and the deep-copied best snapshot — which is
+  fully serialisable into ``.npz`` checkpoints (:func:`save_checkpoint` /
+  :func:`load_checkpoint`);
+* all behaviour around the loop (model epoch hooks, early stopping, best
+  snapshotting, logging, throughput metering, checkpointing, run-artifact
+  writing) is composed from :mod:`repro.train.callbacks`;
+* RNG consumption order is bit-compatible with the legacy loop: the
+  triplet sampler is seeded from the model's generator before the
+  optimiser is built, so seeded metrics match the pre-refactor repo.
+
+Checkpoints capture the model ``state_dict``, optimizer ``state_dict``,
+both model and sampler generator states, model-specific extra state (e.g.
+TaxoRec's current taxonomy) and the full :class:`TrainState`, which makes
+``k epochs → checkpoint → resume for N−k`` bit-identical to training ``N``
+epochs straight.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..autodiff import no_grad
+from ..data import TripletSampler
+
+__all__ = [
+    "TrainState",
+    "Trainer",
+    "Checkpoint",
+    "CKPT_SCHEMA",
+    "snapshot_state_dict",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+CKPT_SCHEMA = "repro.ckpt/v1"
+
+
+def snapshot_state_dict(model) -> dict[str, np.ndarray]:
+    """Deep-copied ``state_dict`` snapshot, safe to hold across training.
+
+    ``Module.state_dict`` copies parameter arrays, but a model may override
+    it; forcing a copy here guarantees the best-validation snapshot can
+    never alias live parameter storage.
+    """
+    return {k: np.array(v, copy=True) for k, v in model.state_dict().items()}
+
+
+@dataclass
+class TrainState:
+    """Serialisable loop state: everything resume needs besides weights.
+
+    ``epoch`` is the *next* epoch index to execute; ``history`` holds one
+    record per executed epoch (``{"epoch", "loss"[, "valid"]}``) and is the
+    exact content of a run directory's ``history.jsonl``.
+    """
+
+    epoch: int = 0
+    history: list[dict] = field(default_factory=list)
+    best_score: float = float("-inf")
+    best_epoch: int | None = None
+    bad_rounds: int = 0
+    improved: bool = False
+    best_state: dict[str, np.ndarray] | None = None
+    stop: bool = False
+    stop_reason: str | None = None
+
+    def observe_validation(self, score: float, epoch: int) -> bool:
+        """Record one validation score; returns whether it improved the best."""
+        if score > self.best_score:
+            self.best_score = score
+            self.best_epoch = epoch
+            self.bad_rounds = 0
+            self.improved = True
+        else:
+            self.bad_rounds += 1
+            self.improved = False
+        return self.improved
+
+
+def _default_eval(model, split) -> float:
+    """Legacy model-selection scalar: mean of the four validation metrics."""
+    from ..eval import evaluate
+
+    with no_grad():
+        return evaluate(model, split, on="valid").mean()
+
+
+class Trainer:
+    """Owns the epoch/batch loop; everything else is a callback.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.models.Recommender` (anything with ``loss_batch``,
+        ``make_optimizer``, ``train_data``, ``config``, ``rng``).
+    split:
+        Optional train/valid/test split; required when
+        ``config.eval_every > 0`` for validation-based callbacks.
+    callbacks:
+        Callback list; ``None`` selects :func:`default_callbacks`, which
+        reproduces the legacy ``Recommender.fit`` behaviour exactly.
+    eval_fn:
+        ``eval_fn(model, split) -> float`` validation scalar; defaults to
+        the mean of Recall/NDCG@10/20 on the validation phase.
+    """
+
+    def __init__(
+        self,
+        model,
+        split=None,
+        callbacks: list | None = None,
+        eval_fn: Callable[[Any, Any], float] | None = None,
+    ):
+        self.model = model
+        self.config = model.config
+        self.split = split
+        if callbacks is None:
+            from .callbacks import default_callbacks
+
+            callbacks = default_callbacks(model.config)
+        self.callbacks = list(callbacks)
+        self.eval_fn = eval_fn or _default_eval
+        self.state = TrainState()
+        self.sampler: TripletSampler | None = None
+        self.optimizer = None
+
+    # ------------------------------------------------------------------
+    def fit(self, resume: "str | Path | Checkpoint | None" = None):
+        """Run the training loop (optionally resuming from a checkpoint).
+
+        Bit-compatibility contract: the sampler is constructed from the
+        model's own generator *before* the optimiser, mirroring the legacy
+        loop's RNG consumption order.
+        """
+        model, config = self.model, self.config
+        self.sampler = TripletSampler(
+            model.train_data, n_negatives=config.n_negatives, seed=model.rng
+        )
+        self.optimizer = model.make_optimizer()
+        if resume is not None:
+            ckpt = resume if isinstance(resume, Checkpoint) else load_checkpoint(resume)
+            self.restore(ckpt)
+        else:
+            # Share the model's legacy ``history`` list so both views grow.
+            self.state.history = model.history
+        return self._run()
+
+    def restore(self, ckpt: "Checkpoint") -> None:
+        """Load a checkpoint into the model, optimizer, RNGs and state."""
+        meta = ckpt.meta
+        model, state = self.model, self.state
+        model.load_state_dict(ckpt.model_state)
+        model.load_extra_state(meta.get("extra_state") or {})
+        if self.optimizer is not None and hasattr(self.optimizer, "load_state_dict"):
+            self.optimizer.load_state_dict(ckpt.optim_state)
+        model.rng.bit_generator.state = meta["model_rng"]
+        if self.sampler is not None and meta.get("sampler_rng") is not None:
+            self.sampler.set_rng_state(meta["sampler_rng"])
+        state.epoch = int(meta["epoch"])
+        state.history = list(meta["history"])
+        state.best_score = float(meta["best_score"])
+        state.best_epoch = meta["best_epoch"]
+        state.bad_rounds = int(meta["bad_rounds"])
+        state.best_state = ckpt.best_state or None
+        model.history = state.history
+
+    # ------------------------------------------------------------------
+    def _emit(self, hook: str, *args) -> None:
+        for cb in self.callbacks:
+            getattr(cb, hook)(self, *args)
+
+    def _run(self):
+        model, config, state = self.model, self.config, self.state
+        self._emit("on_train_begin")
+        for epoch in range(state.epoch, config.epochs):
+            self._emit("on_epoch_begin", epoch)
+            epoch_loss = 0.0
+            n_batches = 0
+            for users, pos, neg in self.sampler.epoch(config.batch_size):
+                self.optimizer.zero_grad()
+                loss = model.loss_batch(users, pos, neg)
+                loss.backward()
+                self.optimizer.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+                self._emit("on_batch_end", epoch, users, loss)
+            self._emit("on_epoch_train_end", epoch)
+            record: dict[str, Any] = {"epoch": epoch, "loss": epoch_loss / max(n_batches, 1)}
+            if config.eval_every and self.split is not None and (epoch + 1) % config.eval_every == 0:
+                score = float(self.eval_fn(model, self.split))
+                record["valid"] = score
+                state.observe_validation(score, epoch)
+            state.epoch = epoch + 1
+            state.history.append(record)
+            self._emit("on_epoch_end", epoch, record)
+            if state.stop:
+                break
+        self._emit("on_train_end")
+        return model
+
+
+# ----------------------------------------------------------------------
+# Checkpoint serialisation
+# ----------------------------------------------------------------------
+@dataclass
+class Checkpoint:
+    """In-memory view of one ``.npz`` checkpoint."""
+
+    meta: dict
+    model_state: dict[str, np.ndarray]
+    optim_state: dict[str, np.ndarray]
+    best_state: dict[str, np.ndarray]
+
+
+def save_checkpoint(path, trainer: Trainer, run_info: dict | None = None) -> Path:
+    """Write the trainer's full resumable state as one ``.npz`` file.
+
+    ``run_info`` (model/dataset/seed/scale/config) is embedded verbatim so
+    ``repro --resume ckpt.npz`` can rebuild the exact training context.
+    """
+    model, state = trainer.model, trainer.state
+    arrays: dict[str, np.ndarray] = {}
+    for key, arr in snapshot_state_dict(model).items():
+        arrays[f"model/{key}"] = arr
+    if state.best_state:
+        for key, arr in state.best_state.items():
+            arrays[f"best/{key}"] = arr
+    optim_state = trainer.optimizer.state_dict() if trainer.optimizer is not None else {}
+    for key, arr in optim_state.items():
+        arrays[f"optim/{key}"] = np.asarray(arr)
+    meta = {
+        "schema": CKPT_SCHEMA,
+        "epoch": state.epoch,
+        "best_score": state.best_score,
+        "best_epoch": state.best_epoch,
+        "bad_rounds": state.bad_rounds,
+        "stop_reason": state.stop_reason,
+        "history": state.history,
+        "model_rng": model.rng.bit_generator.state,
+        "sampler_rng": trainer.sampler.get_rng_state() if trainer.sampler is not None else None,
+        "extra_state": model.extra_state(),
+        "run": run_info or {},
+    }
+    arrays["__meta__"] = np.asarray(json.dumps(meta))
+    path = Path(path)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_checkpoint(path) -> Checkpoint:
+    """Read a :func:`save_checkpoint` file back into a :class:`Checkpoint`."""
+    with np.load(Path(path), allow_pickle=False) as npz:
+        meta = json.loads(str(npz["__meta__"][()]))
+        if meta.get("schema") != CKPT_SCHEMA:
+            raise ValueError(
+                f"unsupported checkpoint schema {meta.get('schema')!r}; expected {CKPT_SCHEMA!r}"
+            )
+        groups: dict[str, dict[str, np.ndarray]] = {"model": {}, "optim": {}, "best": {}}
+        for key in npz.files:
+            head, _, rest = key.partition("/")
+            if head in groups and rest:
+                groups[head][rest] = np.array(npz[key])
+    return Checkpoint(
+        meta=meta,
+        model_state=groups["model"],
+        optim_state=groups["optim"],
+        best_state=groups["best"],
+    )

@@ -1,9 +1,14 @@
 """CLI behaviour (fast paths only; training uses a tiny scale)."""
 
+import json
+import logging
+
 import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+
+TINY = ["--dataset", "ciao", "--scale", "0.08", "--epochs", "2"]
 
 
 class TestParser:
@@ -49,3 +54,83 @@ class TestMain:
         assert save.exists()
         loaded = np.load(save)
         assert "user_emb" in loaded
+
+
+class TestRunArtifactFlags:
+    def test_checkpoint_every_requires_out_dir(self, capsys):
+        assert main(["--model", "CML", "--checkpoint-every", "2", *TINY]) == 2
+        assert "--out-dir" in capsys.readouterr().err
+
+    def test_out_dir_and_resume_round_trip(self, capsys, tmp_path):
+        out = tmp_path / "run"
+        code = main(
+            ["--model", "CML", "--out-dir", str(out), "--checkpoint-every", "1", *TINY]
+        )
+        assert code == 0
+        first = capsys.readouterr().out
+        assert "Recall@10" in first
+        assert (out / "config.json").exists()
+        assert (out / "checkpoint_0000.npz").exists()
+        doc = json.loads((out / "result.json").read_text())
+        assert doc["schema"] == "repro.run/v1"
+
+        resumed = tmp_path / "resumed"
+        code = main(
+            ["--resume", str(out / "checkpoint_0000.npz"), "--out-dir", str(resumed)]
+        )
+        assert code == 0
+        second = capsys.readouterr().out
+        assert "Recall@10" in second
+        # Resuming from epoch 1 of 2 must land on the same test metrics.
+        def metrics_block(text):
+            return text.split("Test metrics")[1].split("run artifacts")[0]
+
+        assert metrics_block(first) == metrics_block(second)
+        assert (resumed / "history.jsonl").read_text() == (out / "history.jsonl").read_text()
+
+    def test_verbose_routes_epoch_logs(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.train"):
+            assert main(["--model", "BPRMF", "--verbose", *TINY]) == 0
+        assert "BPRMF epoch 0 loss" in caplog.text
+        assert "BPRMF epoch 1 loss" in caplog.text
+
+    def test_quiet_by_default(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.train"):
+            assert main(["--model", "BPRMF", *TINY]) == 0
+        assert "epoch 0" not in caplog.text
+
+
+class TestExperimentSubcommand:
+    def test_tiny_sweep(self, capsys, tmp_path):
+        out = tmp_path / "sweep"
+        code = main(
+            [
+                "experiment",
+                "--models", "BPRMF,CML",
+                "--datasets", "ciao",
+                "--seeds", "0,1",
+                "--scale", "0.08",
+                "--epochs", "1",
+                "--out-dir", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Aggregated over seeds" in text
+        assert (out / "experiment.json").exists()
+        assert (out / "comparison.txt").exists()
+        cells = sorted(p.name for p in out.iterdir() if p.is_dir())
+        assert cells == [
+            "BPRMF__ciao__seed0",
+            "BPRMF__ciao__seed1",
+            "CML__ciao__seed0",
+            "CML__ciao__seed1",
+        ]
+
+    def test_bad_seeds_rejected(self, capsys):
+        assert main(["experiment", "--seeds", "zero"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_unknown_model_rejected(self, capsys):
+        assert main(["experiment", "--models", "Nothing", "--epochs", "1"]) == 2
+        assert "unknown models" in capsys.readouterr().err

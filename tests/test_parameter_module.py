@@ -71,3 +71,46 @@ class TestModule:
         m = Outer()
         with pytest.raises(ValueError):
             m.load_state_dict({"a": np.zeros(5)})
+
+
+class TestListHeldParameters:
+    """Parameters inside list/tuple attributes must round-trip.
+
+    Regression for the latent snapshot bug: ``state_dict`` used to skip
+    container attributes entirely, so models with per-layer weight lists
+    (NGCF) restored stale values from "best" snapshots.
+    """
+
+    def test_state_dict_includes_indexed_entries(self):
+        state = Outer().state_dict()
+        assert set(state) == {"a", "inner.w", "layers.0", "layers.1.w"}
+
+    def test_indexed_roundtrip(self):
+        m1, m2 = Outer(), Outer()
+        m1.layers[0].data[:] = 5.0
+        m1.layers[1].w.data[:] = -2.0
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_array_equal(m2.layers[0].data, m1.layers[0].data)
+        np.testing.assert_array_equal(m2.layers[1].w.data, m1.layers[1].w.data)
+
+    def test_indexed_entries_are_copies(self):
+        m = Outer()
+        state = m.state_dict()
+        m.layers[0].data[:] = 42.0
+        assert state["layers.0"].sum() == 1.0
+
+    def test_load_rejects_indexed_shape_mismatch(self):
+        m = Outer()
+        with pytest.raises(ValueError):
+            m.load_state_dict({"layers.0": np.zeros(9)})
+
+    def test_tuple_attributes_covered(self):
+        class WithTuple(Module):
+            def __init__(self):
+                self.pair = (Parameter(np.ones(2)), Parameter(np.zeros(3)))
+
+        m1, m2 = WithTuple(), WithTuple()
+        assert set(m1.state_dict()) == {"pair.0", "pair.1"}
+        m1.pair[1].data[:] = 4.0
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_array_equal(m2.pair[1].data, m1.pair[1].data)

@@ -1,0 +1,76 @@
+"""Individual callback behaviours: throughput, checkpointing, logging."""
+
+import logging
+
+import pytest
+
+from repro.models import CML, TrainConfig
+from repro.train import Checkpointer, EpochLogger, ModelHooks, ThroughputMeter, Trainer
+
+
+def _config(**overrides):
+    defaults = dict(dim=8, tag_dim=2, epochs=3, batch_size=64, seed=3)
+    defaults.update(overrides)
+    return TrainConfig(**defaults)
+
+
+class TestThroughputMeter:
+    def test_counts_all_sampled_triplets(self, tiny_split):
+        model = CML(tiny_split.train, _config())
+        meter = ThroughputMeter()
+        Trainer(model, split=tiny_split, callbacks=[ModelHooks(), meter]).fit()
+        n_positives = len(tiny_split.train.user_ids)
+        assert meter.total_triplets == 3 * n_positives
+        assert meter.total_seconds > 0
+        assert meter.triplets_per_sec > 0
+
+    def test_none_before_any_epoch(self):
+        assert ThroughputMeter().triplets_per_sec is None
+
+    def test_keeps_history_records_deterministic(self, tiny_split):
+        model = CML(tiny_split.train, _config())
+        Trainer(model, split=tiny_split, callbacks=[ModelHooks(), ThroughputMeter()]).fit()
+        assert all(set(r) == {"epoch", "loss"} for r in model.history)
+
+
+class TestCheckpointer:
+    def test_writes_on_schedule(self, tiny_split, tmp_path):
+        model = CML(tiny_split.train, _config(epochs=5))
+        ckpt = Checkpointer(tmp_path, every=2)
+        Trainer(model, split=tiny_split, callbacks=[ModelHooks(), ckpt]).fit()
+        assert [p.name for p in ckpt.written] == ["checkpoint_0001.npz", "checkpoint_0003.npz"]
+        for path in ckpt.written:
+            assert path.exists()
+
+    def test_rejects_non_positive_interval(self, tmp_path):
+        with pytest.raises(ValueError, match="interval"):
+            Checkpointer(tmp_path, every=0)
+
+
+class TestEpochLogger:
+    def test_verbose_config_routes_through_logging(self, tiny_split, caplog):
+        model = CML(tiny_split.train, _config(epochs=2, verbose=True))
+        with caplog.at_level(logging.INFO, logger="repro.train"):
+            Trainer(model, split=tiny_split, callbacks=[ModelHooks(), EpochLogger()]).fit()
+        assert "CML epoch 0 loss" in caplog.text
+        assert "CML epoch 1 loss" in caplog.text
+
+    def test_silent_without_verbose(self, tiny_split, caplog):
+        model = CML(tiny_split.train, _config(epochs=1, verbose=False))
+        with caplog.at_level(logging.INFO, logger="repro.train"):
+            Trainer(model, split=tiny_split, callbacks=[ModelHooks(), EpochLogger()]).fit()
+        assert "epoch 0" not in caplog.text
+
+    def test_explicit_flag_overrides_config(self, tiny_split, caplog):
+        model = CML(tiny_split.train, _config(epochs=1, verbose=False))
+        with caplog.at_level(logging.INFO, logger="repro.train"):
+            Trainer(
+                model, split=tiny_split, callbacks=[ModelHooks(), EpochLogger(verbose=True)]
+            ).fit()
+        assert "CML epoch 0 loss" in caplog.text
+
+    def test_logs_validation_score(self, tiny_split, caplog):
+        model = CML(tiny_split.train, _config(epochs=2, eval_every=1, verbose=True))
+        with caplog.at_level(logging.INFO, logger="repro.train"):
+            Trainer(model, split=tiny_split, callbacks=[ModelHooks(), EpochLogger()]).fit()
+        assert "valid" in caplog.text

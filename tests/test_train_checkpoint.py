@@ -1,0 +1,191 @@
+"""Checkpoint/resume determinism, optimizer state, save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Parameter
+from repro.data import TripletSampler
+from repro.models import CML, TaxoRec, TrainConfig, create_model
+from repro.optim import Adam, SGD, RiemannianSGD
+from repro.train import (
+    Checkpointer,
+    Trainer,
+    default_callbacks,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def _config(**overrides):
+    defaults = dict(dim=8, tag_dim=2, epochs=4, batch_size=256, seed=3)
+    defaults.update(overrides)
+    return TrainConfig(**defaults)
+
+
+def _assert_states_equal(a, b):
+    assert sorted(a) == sorted(b)
+    for key in a:
+        np.testing.assert_array_equal(a[key], np.asarray(b[key]), err_msg=key)
+
+
+def _fit_with_checkpoints(make_model, split, tmp_path, every):
+    model = make_model()
+    trainer = Trainer(
+        model,
+        split=split,
+        callbacks=default_callbacks(model.config) + [Checkpointer(tmp_path, every)],
+    )
+    trainer.fit()
+    return model, trainer
+
+
+class TestResumeDeterminism:
+    """k epochs → checkpoint → resume N−k must equal N epochs straight."""
+
+    def _roundtrip(self, make_model, split, tmp_path, ckpt_name):
+        straight, straight_trainer = _fit_with_checkpoints(make_model, split, tmp_path, every=2)
+        resumed_model = make_model()
+        resumed_trainer = Trainer(resumed_model, split=split)
+        resumed_trainer.fit(resume=tmp_path / ckpt_name)
+        _assert_states_equal(straight.state_dict(), resumed_model.state_dict())
+        assert straight.history == resumed_model.history
+        assert straight_trainer.state.best_score == resumed_trainer.state.best_score
+        assert straight_trainer.state.best_epoch == resumed_trainer.state.best_epoch
+        _assert_states_equal(
+            straight_trainer.optimizer.state_dict(), resumed_trainer.optimizer.state_dict()
+        )
+
+    def test_cml_adam(self, tiny_split, tmp_path):
+        # Adam carries moment buffers + step count: full optimizer restore.
+        make = lambda: CML(tiny_split.train, _config(eval_every=2, patience=5))
+        self._roundtrip(make, tiny_split, tmp_path, "checkpoint_0001.npz")
+
+    def test_taxorec_rsgd_with_taxonomy(self, tiny_split, tmp_path):
+        # The taxonomy rebuilt at epoch 1 (warmup=1, every 2) must survive
+        # the checkpoint, and the epoch-3 rebuild must consume the restored
+        # RNG stream identically.
+        make = lambda: TaxoRec(
+            tiny_split.train,
+            _config(dim=16, tag_dim=4, eval_every=2, patience=5, taxo_rebuild_every=2),
+            taxo_warmup=1,
+        )
+        self._roundtrip(make, tiny_split, tmp_path, "checkpoint_0001.npz")
+
+    def test_resume_skips_completed_training(self, tiny_split, tmp_path):
+        make = lambda: CML(tiny_split.train, _config(epochs=2))
+        _fit_with_checkpoints(make, tiny_split, tmp_path, every=2)
+        resumed = make()
+        trainer = Trainer(resumed, split=tiny_split)
+        trainer.fit(resume=tmp_path / "checkpoint_0001.npz")
+        assert trainer.state.epoch == 2
+        assert len(resumed.history) == 2
+
+
+class TestCheckpointFile:
+    def test_checkpoint_contents(self, tiny_split, tmp_path):
+        model = CML(tiny_split.train, _config(eval_every=2, patience=5))
+        trainer = Trainer(model, split=tiny_split)
+        trainer.fit()
+        path = save_checkpoint(tmp_path / "ckpt.npz", trainer, run_info={"model": "CML"})
+        ckpt = load_checkpoint(path)
+        assert ckpt.meta["schema"] == "repro.ckpt/v1"
+        assert ckpt.meta["epoch"] == 4
+        assert ckpt.meta["run"] == {"model": "CML"}
+        assert len(ckpt.meta["history"]) == 4
+        _assert_states_equal(ckpt.model_state, model.state_dict())
+        assert "t" in ckpt.optim_state  # Adam step counter
+        # The best snapshot rides along (eval ran at epochs 1 and 3).
+        assert set(ckpt.best_state) == set(model.state_dict())
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        import json
+
+        np.savez(tmp_path / "bad.npz", __meta__=np.asarray(json.dumps({"schema": "nope"})))
+        with pytest.raises(ValueError, match="schema"):
+            load_checkpoint(tmp_path / "bad.npz")
+
+    def test_rng_state_round_trips(self, tiny_split, tmp_path):
+        model = CML(tiny_split.train, _config(epochs=1))
+        trainer = Trainer(model, split=tiny_split)
+        trainer.fit()
+        save_checkpoint(tmp_path / "ckpt.npz", trainer)
+        expected = model.rng.integers(0, 2**31, size=8)  # advances the stream
+        ckpt = load_checkpoint(tmp_path / "ckpt.npz")
+        model.rng.bit_generator.state = ckpt.meta["model_rng"]
+        np.testing.assert_array_equal(model.rng.integers(0, 2**31, size=8), expected)
+
+
+class TestSamplerRngCapture:
+    def test_negative_stream_resumes_identically(self, tiny_split):
+        sampler = TripletSampler(tiny_split.train, seed=11)
+        users = tiny_split.train.user_ids[:64]
+        sampler.sample_negatives(users)  # advance
+        state = sampler.get_rng_state()
+        expected = [sampler.sample_negatives(users) for _ in range(3)]
+        sampler.set_rng_state(state)
+        replayed = [sampler.sample_negatives(users) for _ in range(3)]
+        for a, b in zip(expected, replayed):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestOptimizerStateDicts:
+    def _params(self):
+        rng = np.random.default_rng(0)
+        return [Parameter(rng.normal(size=(4, 3))), Parameter(rng.normal(size=(2,)))]
+
+    def _step(self, opt, params, rng):
+        opt.zero_grad()
+        for p in params:
+            p.grad = rng.normal(size=p.data.shape)
+        opt.step()
+
+    @pytest.mark.parametrize("factory", [
+        lambda ps: Adam(ps, lr=1e-2),
+        lambda ps: SGD(ps, lr=1e-2, momentum=0.9),
+    ])
+    def test_resume_matches_uninterrupted(self, factory):
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        params_a, params_b = self._params(), self._params()
+        opt_a, opt_b = factory(params_a), factory(params_b)
+        for _ in range(3):
+            self._step(opt_a, params_a, rng_a)
+        # Interrupt b after 2 steps, round-trip its state, then continue.
+        for _ in range(2):
+            self._step(opt_b, params_b, rng_b)
+        state = {k: v.copy() for k, v in opt_b.state_dict().items()}
+        opt_c = factory(params_b)
+        opt_c.load_state_dict(state)
+        self._step(opt_c, params_b, rng_b)
+        for pa, pb in zip(params_a, params_b):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_rsgd_is_stateless(self):
+        params = self._params()
+        opt = RiemannianSGD(params, lr=1e-2)
+        assert opt.state_dict() == {}
+        opt.load_state_dict({})  # no-op
+
+    def test_shape_mismatch_rejected(self):
+        params = self._params()
+        opt = Adam(params, lr=1e-2)
+        state = opt.state_dict()
+        state["m.0"] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            opt.load_state_dict(state)
+
+
+class TestSaveLoadRoundTrip:
+    """--save → load_state_dict into a fresh model → bit-identical scores."""
+
+    @pytest.mark.parametrize("name", ["CML", "TaxoRec", "NGCF"])
+    def test_scores_bit_identical(self, tiny_split, tmp_path, name):
+        config = _config(dim=16, tag_dim=4, epochs=2)
+        model = create_model(name, tiny_split.train, config)
+        model.fit(tiny_split)
+        path = tmp_path / "weights.npz"
+        np.savez(path, **model.state_dict())
+        fresh = create_model(name, tiny_split.train, config)
+        with np.load(path) as npz:
+            fresh.load_state_dict({k: npz[k] for k in npz.files})
+        users = np.arange(tiny_split.train.n_users)
+        np.testing.assert_array_equal(fresh.score_users(users), model.score_users(users))

@@ -1,0 +1,238 @@
+"""Trainer engine: legacy-loop equivalence, early stopping, snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import no_grad
+from repro.data import TripletSampler
+from repro.eval import evaluate
+from repro.models import CML, NGCF, TrainConfig, create_model
+from repro.train import (
+    BestSnapshot,
+    Callback,
+    EarlyStopping,
+    EpochLogger,
+    ModelHooks,
+    Trainer,
+    default_callbacks,
+    snapshot_state_dict,
+)
+
+
+def _config(**overrides):
+    defaults = dict(dim=8, tag_dim=2, epochs=4, batch_size=256, seed=3)
+    defaults.update(overrides)
+    return TrainConfig(**defaults)
+
+
+def _legacy_fit(model, split):
+    """Verbatim reimplementation of the pre-refactor ``Recommender.fit``."""
+    config = model.config
+    sampler = TripletSampler(model.train_data, n_negatives=config.n_negatives, seed=model.rng)
+    optimizer = model.make_optimizer()
+    best_score = -np.inf
+    best_state = None
+    bad_rounds = 0
+    for epoch in range(config.epochs):
+        model.begin_epoch(epoch)
+        epoch_loss = 0.0
+        n_batches = 0
+        for users, pos, neg in sampler.epoch(config.batch_size):
+            optimizer.zero_grad()
+            loss = model.loss_batch(users, pos, neg)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            n_batches += 1
+        model.end_epoch(epoch)
+        record = {"epoch": epoch, "loss": epoch_loss / max(n_batches, 1)}
+        if config.eval_every and split is not None and (epoch + 1) % config.eval_every == 0:
+            with no_grad():
+                result = evaluate(model, split, on="valid")
+            record["valid"] = result.mean()
+            if result.mean() > best_score:
+                best_score = result.mean()
+                best_state = {k: v.copy() for k, v in model.state_dict().items()}
+                bad_rounds = 0
+            else:
+                bad_rounds += 1
+            if bad_rounds > config.patience:
+                model.history.append(record)
+                break
+        model.history.append(record)
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    return model
+
+
+class TestLegacyEquivalence:
+    """The fit shim must be bit-compatible with the historical loop."""
+
+    @pytest.mark.parametrize(
+        "name,overrides",
+        [
+            ("CML", dict(eval_every=2, patience=1)),
+            ("BPRMF", dict(eval_every=1, patience=0)),
+            ("TaxoRec", dict(dim=16, tag_dim=4, eval_every=2, patience=5, taxo_rebuild_every=2)),
+        ],
+    )
+    def test_fit_matches_legacy_loop(self, tiny_split, name, overrides):
+        shim = create_model(name, tiny_split.train, _config(**overrides))
+        shim.fit(tiny_split)
+        legacy = create_model(name, tiny_split.train, _config(**overrides))
+        _legacy_fit(legacy, tiny_split)
+        a, b = shim.state_dict(), legacy.state_dict()
+        assert sorted(a) == sorted(b)
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+        assert shim.history == legacy.history
+
+
+class _ScriptedEval:
+    """Deterministic stand-in validation scores, one per eval call."""
+
+    def __init__(self, scores):
+        self.scores = list(scores)
+        self.calls = 0
+
+    def __call__(self, model, split):
+        score = self.scores[self.calls]
+        self.calls += 1
+        return score
+
+
+class _StateSpy(Callback):
+    """Captures deep-copied weights at chosen moments."""
+
+    def __init__(self, at_epoch=None):
+        self.at_epoch = at_epoch
+        self.epoch_state = None
+        self.final_state = None
+
+    def on_epoch_end(self, trainer, epoch, record):
+        if epoch == self.at_epoch:
+            self.epoch_state = snapshot_state_dict(trainer.model)
+
+    def on_train_end(self, trainer):
+        self.final_state = snapshot_state_dict(trainer.model)
+
+
+def _trainer(model, split, eval_fn, extra=(), patience=None):
+    callbacks = [
+        ModelHooks(),
+        BestSnapshot(),
+        EarlyStopping(patience=patience),
+        EpochLogger(),
+        *extra,
+    ]
+    return Trainer(model, split=split, callbacks=callbacks, eval_fn=eval_fn)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_exceeded(self, tiny_split):
+        model = CML(tiny_split.train, _config(epochs=10, eval_every=1, patience=1))
+        trainer = _trainer(model, tiny_split, _ScriptedEval([1.0, 0.5, 0.4, 0.3, 0.2]))
+        trainer.fit()
+        # Best at epoch 0, then two bad rounds > patience=1 → stop at epoch 2.
+        assert trainer.state.stop
+        assert trainer.state.stop_reason == "early_stopping"
+        assert [r["epoch"] for r in model.history] == [0, 1, 2]
+
+    def test_patience_counter_resets_on_improvement(self, tiny_split):
+        model = CML(tiny_split.train, _config(epochs=10, eval_every=1, patience=1))
+        scores = [0.1, 0.2, 0.15, 0.3, 0.05, 0.04, 0.03]
+        trainer = _trainer(model, tiny_split, _ScriptedEval(scores))
+        trainer.fit()
+        # Improvements at 0, 1, 3; bad rounds at 2 (reset by 3), then 4 and 5.
+        assert trainer.state.best_epoch == 3
+        assert [r["epoch"] for r in model.history] == [0, 1, 2, 3, 4, 5]
+
+    def test_history_has_one_entry_per_executed_epoch_on_break(self, tiny_split):
+        model = CML(tiny_split.train, _config(epochs=10, eval_every=1, patience=0))
+        trainer = _trainer(model, tiny_split, _ScriptedEval([1.0, 0.5, 0.4]))
+        trainer.fit()
+        epochs = [r["epoch"] for r in model.history]
+        assert epochs == sorted(set(epochs))  # no duplicates, no gaps
+        assert len(model.history) == trainer.state.epoch
+        assert all("valid" in r for r in model.history)
+
+    def test_no_early_stop_without_validation(self, tiny_split):
+        model = CML(tiny_split.train, _config(epochs=3, eval_every=0))
+        trainer = _trainer(model, tiny_split, _ScriptedEval([]))
+        trainer.fit()
+        assert not trainer.state.stop
+        assert len(model.history) == 3
+        assert all("valid" not in r for r in model.history)
+
+    def test_restores_best_on_stop(self, tiny_split):
+        model = CML(tiny_split.train, _config(epochs=10, eval_every=1, patience=1))
+        spy = _StateSpy(at_epoch=0)
+        trainer = _trainer(model, tiny_split, _ScriptedEval([1.0, 0.5, 0.4]), extra=[spy])
+        trainer.fit()
+        restored = model.state_dict()
+        for key, arr in spy.epoch_state.items():
+            np.testing.assert_array_equal(restored[key], arr, err_msg=key)
+
+
+class TestBestSnapshotRegression:
+    """Training past the best epoch must restore the *best* weights.
+
+    Regression for the latent snapshot bug: parameters held in list
+    attributes (NGCF's per-layer ``W_self``/``W_inter``) were silently
+    missing from ``state_dict`` snapshots, so "restore the best epoch"
+    kept their final values.
+    """
+
+    def test_restored_weights_differ_from_final(self, tiny_split):
+        config = _config(dim=16, tag_dim=4, epochs=4, eval_every=1, patience=10, lr=5e-2)
+        model = NGCF(tiny_split.train, config)
+        # Pre-restore finals must be captured before BestSnapshot's
+        # on_train_end runs, so the spy goes first in the callback list.
+        spy = _StateSpy()
+        trainer = Trainer(
+            model,
+            split=tiny_split,
+            callbacks=[spy, ModelHooks(), BestSnapshot(), EarlyStopping(), EpochLogger()],
+            eval_fn=_ScriptedEval([1.0, 0.0, 0.0, 0.0]),
+        )
+        trainer.fit()
+        assert any(key.startswith("W_self.") for key in model.state_dict())
+        restored = model.state_dict()
+        # Restored == the epoch-0 best snapshot, for every parameter.
+        for key, arr in trainer.state.best_state.items():
+            np.testing.assert_array_equal(restored[key], arr, err_msg=key)
+        # ... and the layer weights genuinely moved after the best epoch.
+        changed = [
+            key
+            for key in restored
+            if not np.array_equal(restored[key], spy.final_state[key])
+        ]
+        assert any(key.startswith(("W_self.", "W_inter.")) for key in changed)
+
+    def test_snapshot_is_deep_copied(self, tiny_split):
+        model = CML(tiny_split.train, _config())
+        snap = snapshot_state_dict(model)
+        model.user_emb.data += 1.0
+        assert not np.array_equal(snap["user_emb"], model.user_emb.data)
+
+
+class TestDefaultCallbacks:
+    def test_default_stack_composition(self):
+        callbacks = default_callbacks(_config())
+        kinds = [type(cb).__name__ for cb in callbacks]
+        assert kinds == ["ModelHooks", "BestSnapshot", "EarlyStopping", "EpochLogger"]
+
+    def test_model_hooks_preserve_epoch_ordering(self, tiny_split):
+        calls = []
+
+        class Probe(CML):
+            def begin_epoch(self, epoch):
+                calls.append(("begin", epoch))
+
+            def end_epoch(self, epoch):
+                calls.append(("end", epoch))
+                super().end_epoch(epoch)
+
+        model = Probe(tiny_split.train, _config(epochs=2))
+        Trainer(model, split=tiny_split).fit()
+        assert calls == [("begin", 0), ("end", 0), ("begin", 1), ("end", 1)]

@@ -1,0 +1,99 @@
+"""Experiment runner: grid sweeps, per-cell run dirs, merged tables."""
+
+import json
+
+import pytest
+
+from repro.train import cell_dir_name, comparison_table, run_experiment, validate_run_result
+
+GRID = dict(scale=0.08, epochs=2)
+
+
+@pytest.fixture(scope="module")
+def sweep(tmp_path_factory):
+    out = tmp_path_factory.mktemp("exp") / "sweep"
+    return run_experiment(["BPRMF", "CML"], ["ciao"], [0, 1], out, **GRID)
+
+
+class TestSweep:
+    def test_one_valid_run_dir_per_cell(self, sweep):
+        assert len(sweep.results) == 4
+        for model in ("BPRMF", "CML"):
+            for seed in (0, 1):
+                cell = sweep.out_dir / cell_dir_name(model, "ciao", seed)
+                doc = json.loads((cell / "result.json").read_text())
+                assert validate_run_result(doc) == []
+                assert doc["model"] == model
+                assert doc["seed"] == seed
+                assert (cell / "history.jsonl").exists()
+                assert (cell / "config.json").exists()
+
+    def test_merged_artifacts(self, sweep):
+        doc = json.loads((sweep.out_dir / "experiment.json").read_text())
+        assert doc["schema"] == "repro.experiment/v1"
+        assert doc["grid"]["models"] == ["BPRMF", "CML"]
+        assert doc["grid"]["seeds"] == [0, 1]
+        assert len(doc["results"]) == 4
+        assert sorted(doc["runs"]) == sorted(
+            cell_dir_name(m, "ciao", s) for m in ("BPRMF", "CML") for s in (0, 1)
+        )
+        table = (sweep.out_dir / "comparison.txt").read_text()
+        assert table.rstrip("\n") == sweep.table
+
+    def test_comparison_table_contents(self, sweep):
+        assert "BPRMF" in sweep.table and "CML" in sweep.table
+        assert "Recall@10" in sweep.table
+        assert "Aggregated over seeds" in sweep.table
+        # One row per cell in the merged table section.
+        merged_section = sweep.table.split("Aggregated")[0]
+        assert sum(line.startswith(("BPRMF", "CML")) for line in merged_section.splitlines()) == 4
+
+    def test_seeds_differ_within_model(self, sweep):
+        by_cell = {(d["model"], d["seed"]): d["metrics"]["test"] for d in sweep.results}
+        assert by_cell[("CML", 0)] != by_cell[("CML", 1)]
+
+
+class TestParallelSweep:
+    def test_multiprocessing_matches_sequential(self, sweep, tmp_path):
+        parallel = run_experiment(["BPRMF", "CML"], ["ciao"], [0, 1], tmp_path / "par", jobs=2, **GRID)
+        seq = {(d["model"], d["seed"]): d["metrics"] for d in sweep.results}
+        par = {(d["model"], d["seed"]): d["metrics"] for d in parallel.results}
+        assert seq == par
+
+
+class TestValidation:
+    def test_unknown_model_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown models"):
+            run_experiment(["Nothing"], ["ciao"], [0], tmp_path / "x", **GRID)
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown datasets"):
+            run_experiment(["CML"], ["netflix"], [0], tmp_path / "x", **GRID)
+
+    def test_empty_grid_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="non-empty"):
+            run_experiment(["CML"], ["ciao"], [], tmp_path / "x", **GRID)
+
+
+class TestComparisonTable:
+    def test_renders_from_result_docs(self):
+        def doc(model, seed, base):
+            return {
+                "model": model,
+                "dataset": "ciao",
+                "seed": seed,
+                "best_epoch": None,
+                "epochs_run": 2,
+                "metrics": {
+                    "test": {
+                        "recall_at_10": base,
+                        "recall_at_20": base + 0.1,
+                        "ndcg_at_10": base,
+                        "ndcg_at_20": base + 0.05,
+                    }
+                },
+            }
+
+        table = comparison_table([doc("A", 0, 0.1), doc("A", 1, 0.2), doc("B", 0, 0.3)])
+        assert "A" in table and "B" in table
+        assert "#Seeds" in table

@@ -1,0 +1,131 @@
+"""Run directories, the repro.run/v1 schema, and execute_run."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.train import RunDir, execute_run, validate_run_result
+
+RUN_ARGS = dict(model="CML", dataset="ciao", scale=0.08, epochs=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def run_outcome(tmp_path_factory):
+    out = tmp_path_factory.mktemp("run") / "cml"
+    return execute_run(out_dir=out, checkpoint_every=1, **RUN_ARGS)
+
+
+class TestRunDirArtifacts:
+    def test_all_artifacts_present(self, run_outcome):
+        root = run_outcome.run_dir.path
+        assert (root / "config.json").exists()
+        assert (root / "history.jsonl").exists()
+        assert (root / "result.json").exists()
+        assert [p.name for p in run_outcome.run_dir.checkpoints()] == [
+            "checkpoint_0000.npz",
+            "checkpoint_0001.npz",
+        ]
+
+    def test_result_validates_and_matches_run(self, run_outcome):
+        doc = run_outcome.run_dir.read_result()
+        assert validate_run_result(doc) == []
+        assert doc["model"] == "CML"
+        assert doc["dataset"] == "ciao"
+        assert doc["epochs_run"] == 2
+        assert doc["checkpoints"] == ["checkpoint_0000.npz", "checkpoint_0001.npz"]
+        assert doc["resumed_from"] is None
+        assert doc["timing"]["triplets_per_sec"] > 0
+        for value in doc["metrics"]["test"].values():
+            assert 0.0 <= value <= 1.0
+
+    def test_history_one_line_per_epoch(self, run_outcome):
+        records = run_outcome.run_dir.read_history()
+        assert [r["epoch"] for r in records] == [0, 1]
+        assert records == run_outcome.model.history
+        # History must stay deterministic: no wall-clock values in records.
+        assert all(set(r) <= {"epoch", "loss", "valid"} for r in records)
+
+    def test_config_json_rebuilds_train_config(self, run_outcome):
+        from repro.models import TrainConfig
+
+        doc = run_outcome.run_dir.read_config()
+        config = TrainConfig(**doc["config"])
+        assert config.epochs == 2
+        assert doc["model"] == "CML"
+        assert doc["checkpoint_every"] == 1
+
+    def test_cli_resume_reproduces_run(self, run_outcome, tmp_path):
+        resumed = execute_run(
+            resume=run_outcome.run_dir.checkpoint_path(0), out_dir=tmp_path / "resumed"
+        )
+        a, b = run_outcome.model.state_dict(), resumed.model.state_dict()
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+        assert (
+            (tmp_path / "resumed" / "history.jsonl").read_text()
+            == run_outcome.run_dir.history_path.read_text()
+        )
+        doc = resumed.run_dir.read_result()
+        assert validate_run_result(doc) == []
+        assert doc["resumed_from"] == str(run_outcome.run_dir.checkpoint_path(0))
+
+    def test_resume_requires_embedded_run_info(self, tiny_split, tmp_path):
+        from repro.models import CML, TrainConfig
+        from repro.train import Trainer, save_checkpoint
+
+        model = CML(tiny_split.train, TrainConfig(dim=8, tag_dim=2, epochs=1, batch_size=256))
+        trainer = Trainer(model, split=tiny_split)
+        trainer.fit()
+        bare = save_checkpoint(tmp_path / "bare.npz", trainer)  # no run_info
+        with pytest.raises(ValueError, match="run info"):
+            execute_run(resume=bare)
+
+
+class TestValidator:
+    def _valid_doc(self, run_outcome):
+        return json.loads(json.dumps(run_outcome.result))
+
+    def test_accepts_real_document(self, run_outcome):
+        assert validate_run_result(self._valid_doc(run_outcome)) == []
+
+    def test_rejects_non_object(self):
+        assert validate_run_result([]) == ["result is not an object"]
+
+    def test_rejects_wrong_schema(self, run_outcome):
+        doc = self._valid_doc(run_outcome)
+        doc["schema"] = "repro.bench/v1"
+        assert any("schema" in p for p in validate_run_result(doc))
+
+    def test_rejects_missing_keys(self, run_outcome):
+        doc = self._valid_doc(run_outcome)
+        del doc["metrics"], doc["timing"]
+        problems = validate_run_result(doc)
+        assert any("metrics" in p for p in problems)
+        assert any("timing" in p for p in problems)
+
+    def test_rejects_bad_metrics(self, run_outcome):
+        doc = self._valid_doc(run_outcome)
+        doc["metrics"]["test"]["ndcg_at_10"] = "high"
+        assert any("ndcg_at_10" in p for p in validate_run_result(doc))
+
+    def test_rejects_negative_timing(self, run_outcome):
+        doc = self._valid_doc(run_outcome)
+        doc["timing"]["train_seconds"] = -1.0
+        assert any("train_seconds" in p for p in validate_run_result(doc))
+
+    def test_write_result_refuses_invalid(self, tmp_path):
+        run_dir = RunDir(tmp_path / "r")
+        with pytest.raises(ValueError, match="invalid run result"):
+            run_dir.write_result({"schema": "repro.run/v1"})
+
+
+class TestRunDirHistoryIO:
+    def test_rewrite_then_append_round_trip(self, tmp_path):
+        run_dir = RunDir(tmp_path / "r")
+        run_dir.rewrite_history([{"epoch": 0, "loss": 1.0}])
+        run_dir.append_history({"epoch": 1, "loss": 0.5})
+        assert run_dir.read_history() == [
+            {"epoch": 0, "loss": 1.0},
+            {"epoch": 1, "loss": 0.5},
+        ]
