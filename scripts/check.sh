@@ -6,8 +6,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="${PWD}/src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 tests =="
-python -m pytest -x -q
+echo "== tier-1 tests (not slow) =="
+python -m pytest -x -q -m "not slow"
+
+echo "== tier-2 tests (slow: hypothesis + e2e) =="
+REPRO_HYPOTHESIS_PROFILE=ci python -m pytest -x -q -m slow
 
 echo "== repro.analysis =="
 python -m repro.analysis src
@@ -24,5 +27,8 @@ python -m repro.bench --quick --out benchmarks/results/BENCH_smoke.json
 
 echo "== train smoke =="
 python scripts/train_smoke.py
+
+echo "== serve smoke =="
+python scripts/serve_smoke.py
 
 echo "All checks passed."

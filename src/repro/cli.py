@@ -6,6 +6,8 @@ Usage:
     python -m repro --model CML --dataset ciao --out-dir runs/cml --checkpoint-every 10
     python -m repro --resume runs/cml/checkpoint_0009.npz --out-dir runs/cml_resumed
     python -m repro experiment --models TaxoRec,CML --datasets ciao --seeds 0,1 --out-dir runs/sweep
+    python -m repro export runs/cml --out models/cml.npz
+    python -m repro serve models/cml.npz --port 8731
     python -m repro --list-models
 """
 
@@ -31,7 +33,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TaxoRec reproduction: train and evaluate recommenders on synthetic presets",
-        epilog="Sweeps: python -m repro experiment --help",
+        epilog="Subcommands: python -m repro {experiment,export,serve} --help",
     )
     parser.add_argument("--model", default="TaxoRec", help="registered model name")
     parser.add_argument("--dataset", default="ciao", choices=PRESET_NAMES)
@@ -111,6 +113,14 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["experiment"]:
         return experiment_main(argv[1:])
+    if argv[:1] == ["export"]:
+        from .serve.cli import export_main
+
+        return export_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        from .serve.cli import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_models:
         for name in sorted(MODEL_REGISTRY):

@@ -1,6 +1,6 @@
 """Evaluation: full-ranking metrics, protocol runner, significance tests."""
 
-from .evaluator import EvalResult, evaluate, evaluate_reference, held_out_positives
+from .evaluator import EvalResult, evaluate, evaluate_reference, held_out_positives, topk_ranking
 from .protocol import ExperimentResult, run_experiment, run_model
 from .metrics import (
     ndcg_at_k,
@@ -21,6 +21,7 @@ __all__ = [
     "run_experiment",
     "run_model",
     "held_out_positives",
+    "topk_ranking",
     "recall_at_k",
     "ndcg_at_k",
     "rank_topk",

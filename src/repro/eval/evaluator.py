@@ -28,7 +28,7 @@ from .metrics import (
     recall_at_k_reference,
 )
 
-__all__ = ["EvalResult", "evaluate", "evaluate_reference", "held_out_positives"]
+__all__ = ["EvalResult", "evaluate", "evaluate_reference", "held_out_positives", "topk_ranking"]
 
 
 @dataclass
@@ -79,6 +79,47 @@ def _eval_setup(split: Split, on: str):
     return positives, mask, users
 
 
+def _ranked_topk(model, mask, users: np.ndarray, k: int, batch_users: int) -> np.ndarray:
+    """Masked, deterministically tie-broken top-``k`` lists per user.
+
+    The production ranking core shared by :func:`evaluate` and
+    :func:`topk_ranking`: user-chunked score matrices, CSR-vectorised
+    ``-inf`` masking of earlier-phase items, and the batched
+    ``(-score, item_id)`` top-K of :func:`repro.eval.metrics.rank_topk`.
+    """
+    all_topk = np.zeros((len(users), k), dtype=np.int64)
+    for start in range(0, len(users), batch_users):
+        batch = users[start : start + batch_users]
+        scores = np.asarray(model.score_users(batch), dtype=np.float64)
+        # Flat (row, col) coordinates of every masked entry in the batch,
+        # straight from the CSR row slices — no per-user Python loop.
+        sub = mask[batch]
+        rows = np.repeat(np.arange(len(batch)), np.diff(sub.indptr))
+        scores[rows, sub.indices] = -np.inf
+        all_topk[start : start + len(batch)] = rank_topk(scores, k)
+    return all_topk
+
+
+def topk_ranking(
+    model,
+    split: Split,
+    on: str = "test",
+    k: int = 20,
+    batch_users: int = 512,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The offline evaluator's exact top-``k`` rankings, not just metrics.
+
+    Returns ``(users, topk)``: the evaluated user ids (those with held-out
+    positives in the ``on`` phase) and their ``(len(users), k)`` ranked
+    item lists, produced by the same masking and deterministic
+    ``(-score, item_id)`` tiebreak as :func:`evaluate`.  This is the
+    offline ground truth the serving parity harness
+    (``tests/test_serve_parity.py``) holds ``repro.serve`` to.
+    """
+    _, mask, users = _eval_setup(split, on)
+    return users, _ranked_topk(model, mask, users, min(k, split.train.n_items), batch_users)
+
+
 def evaluate(
     model,
     split: Split,
@@ -104,16 +145,7 @@ def evaluate(
     """
     positives, mask, users = _eval_setup(split, on)
     k_max = min(max(ks), split.train.n_items)
-    all_topk = np.zeros((len(users), k_max), dtype=np.int64)
-    for start in range(0, len(users), batch_users):
-        batch = users[start : start + batch_users]
-        scores = np.asarray(model.score_users(batch), dtype=np.float64)
-        # Flat (row, col) coordinates of every masked entry in the batch,
-        # straight from the CSR row slices — no per-user Python loop.
-        sub = mask[batch]
-        rows = np.repeat(np.arange(len(batch)), np.diff(sub.indptr))
-        scores[rows, sub.indices] = -np.inf
-        all_topk[start : start + len(batch)] = rank_topk(scores, k_max)
+    all_topk = _ranked_topk(model, mask, users, k_max, batch_users)
 
     pos = [positives[u] for u in users]
     return EvalResult(

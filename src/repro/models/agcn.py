@@ -76,3 +76,12 @@ class AGCN(Recommender):
         with no_grad():
             zu, zv = self._encode()
             return zu.data[users] @ zv.data.T
+
+    def frozen_scores(self) -> dict:
+        """Inner product over the attribute-augmented propagated embeddings."""
+        with no_grad():
+            zu, zv = self._encode()
+            return {
+                "score_fn": "dot",
+                "arrays": {"user": zu.data.copy(), "item": zv.data.copy()},
+            }

@@ -68,3 +68,16 @@ class AMF(Recommender):
             item_aspects = self._tag_features @ self.tag_emb.data  # (n_items, dt)
             aspect = self.user_aspect.data[users] @ item_aspects.T
             return base + self.aspect_weight * aspect
+
+    def frozen_scores(self) -> dict:
+        """Collaborative factors plus the precomputed per-item aspect tower."""
+        return {
+            "score_fn": "dot_aspect",
+            "arrays": {
+                "user": self.user_emb.data.copy(),
+                "item": self.item_emb.data.copy(),
+                "user_aspect": self.user_aspect.data.copy(),
+                "item_aspect": self._tag_features @ self.tag_emb.data,
+                "aspect_weight": np.asarray(self.aspect_weight, dtype=np.float64),
+            },
+        }

@@ -92,6 +92,32 @@ class Recommender(Module):
 
         return Adam(list(self.parameters()), lr=self.config.lr, weight_decay=self.config.weight_decay)
 
+    def frozen_scores(self) -> dict:
+        """Frozen-scoring payload for :mod:`repro.serve` export.
+
+        Returns ``{"score_fn": <id>, "arrays": {name: ndarray}}`` such
+        that the registered pure-numpy function
+        ``repro.serve.scoring.SCORE_FNS[<id>]`` reproduces
+        :meth:`score_users` from the arrays alone — aggregation (GCN
+        layers, tag midpoints) already applied, no autodiff graph.
+
+        Models whose scorer factorises into fixed user/item arrays
+        override this with the matching score-fn id; the default densifies
+        :meth:`score_users` over the whole user set (``"dense"``), which is
+        correct for *any* model at O(n_users · n_items) artifact size.
+        """
+        n_users = self.train_data.n_users
+        chunks = [
+            np.asarray(self.score_users(np.arange(start, min(start + 512, n_users))))
+            for start in range(0, n_users, 512)
+        ]
+        scores = (
+            np.concatenate(chunks, axis=0)
+            if chunks
+            else np.zeros((0, self.train_data.n_items))
+        )
+        return {"score_fn": "dense", "arrays": {"scores": scores.astype(np.float64, copy=False)}}
+
     def extra_state(self) -> dict:
         """JSON-serialisable non-parameter state for checkpoints.
 

@@ -71,6 +71,13 @@ class CML(Recommender):
             d2 = (u * u).sum(1)[:, None] + (v * v).sum(1)[None, :] - 2.0 * (u @ v.T)
             return -d2
 
+    def frozen_scores(self) -> dict:
+        """Negated squared Euclidean distances in the metric space."""
+        return {
+            "score_fn": "neg_sq_euclid",
+            "arrays": {"user": self.user_emb.data.copy(), "item": self.item_emb.data.copy()},
+        }
+
 
 class CMLF(CML):
     """CML + tag-feature loss: f(tags(v)) should land near v in the metric space."""

@@ -69,3 +69,12 @@ class HGCF(Recommender):
             time = np.outer(u[:, 0], v[:, 0])
             d = np.arccosh(np.maximum(time - spatial, 1.0))
             return -(d * d)
+
+    def frozen_scores(self) -> dict:
+        """Negated squared Lorentz distances over the GCN-propagated points."""
+        with no_grad():
+            hu, hv = self._encode()
+            return {
+                "score_fn": "neg_sq_lorentz",
+                "arrays": {"user": hu.data.copy(), "item": hv.data.copy()},
+            }

@@ -62,6 +62,13 @@ class HyperML(Recommender):
             d = np.arccosh(np.maximum(-inner, 1.0))
             return -(d * d)
 
+    def frozen_scores(self) -> dict:
+        """Negated squared Lorentz distances between the raw hyperboloid points."""
+        return {
+            "score_fn": "neg_sq_lorentz",
+            "arrays": {"user": self.user_emb.data.copy(), "item": self.item_emb.data.copy()},
+        }
+
 
 def _pairwise_inner(u: np.ndarray, v: np.ndarray) -> np.ndarray:
     """Pairwise Lorentzian inner products between row sets: (b, n)."""

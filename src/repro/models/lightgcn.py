@@ -48,3 +48,12 @@ class LightGCN(Recommender):
         with no_grad():
             zu, zv = self._encode()
             return zu.data[users] @ zv.data.T
+
+    def frozen_scores(self) -> dict:
+        """Inner product over *propagated* embeddings (GCN layers baked in)."""
+        with no_grad():
+            zu, zv = self._encode()
+            return {
+                "score_fn": "dot",
+                "arrays": {"user": zu.data.copy(), "item": zv.data.copy()},
+            }

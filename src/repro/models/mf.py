@@ -54,6 +54,17 @@ class BPRMF(Recommender):
             u = self.user_emb.data[users]
             return u @ self.item_emb.data.T + self.item_bias.data[:, 0][None, :]
 
+    def frozen_scores(self) -> dict:
+        """Biased inner product: user/item factors plus the item bias column."""
+        return {
+            "score_fn": "dot_bias",
+            "arrays": {
+                "user": self.user_emb.data.copy(),
+                "item": self.item_emb.data.copy(),
+                "item_bias": self.item_bias.data[:, 0].copy(),
+            },
+        }
+
 
 class NMF(Recommender):
     """Non-negative MF via multiplicative updates on the binary matrix."""
@@ -82,6 +93,13 @@ class NMF(Recommender):
     def score_users(self, users) -> np.ndarray:
         """``(len(users), n_items)`` scores against the full catalogue; higher is better."""
         return self.W[users] @ self.H
+
+    def frozen_scores(self) -> dict:
+        """Plain inner product of the non-negative factors (H stored item-major)."""
+        return {
+            "score_fn": "dot",
+            "arrays": {"user": self.W.copy(), "item": np.ascontiguousarray(self.H.T)},
+        }
 
     def parameters(self):  # NMF is not autodiff-trained
         return iter(())

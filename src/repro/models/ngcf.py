@@ -67,3 +67,12 @@ class NGCF(Recommender):
         with no_grad():
             zu, zv = self._encode()
             return zu.data[users] @ zv.data.T
+
+    def frozen_scores(self) -> dict:
+        """Inner product over the propagated (multi-layer concat) embeddings."""
+        with no_grad():
+            zu, zv = self._encode()
+            return {
+                "score_fn": "dot",
+                "arrays": {"user": zu.data.copy(), "item": zv.data.copy()},
+            }

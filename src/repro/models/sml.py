@@ -73,3 +73,10 @@ class SML(Recommender):
             v = self.item_emb.data
             d2 = (u * u).sum(1)[:, None] + (v * v).sum(1)[None, :] - 2.0 * (u @ v.T)
             return -d2
+
+    def frozen_scores(self) -> dict:
+        """Negated squared Euclidean distances (margins only shape training)."""
+        return {
+            "score_fn": "neg_sq_euclid",
+            "arrays": {"user": self.user_emb.data.copy(), "item": self.item_emb.data.copy()},
+        }

@@ -331,6 +331,28 @@ class TaxoRec(Recommender):
                 d_tg = _pairwise_sq_dist_euclid(u_tg.data[users], v_tg.data)
             return -(d_ir + alpha * d_tg)
 
+    def frozen_scores(self) -> dict:
+        """Two-channel payload for Eq. 17: encoded points plus α·β weights.
+
+        Local tag aggregation (Eqs. 9–11) and the global tangent-space GCN
+        (Eqs. 12–15) are applied *before* freezing, so serving needs only
+        pairwise distances over the four final embedding tables and the
+        per-user personalised weight ``α_u · β``.
+        """
+        with no_grad():
+            u_ir, v_ir, u_tg, v_tg = self._encode()
+            score_fn = "two_channel_lorentz" if self.hyperbolic else "two_channel_euclid"
+            return {
+                "score_fn": score_fn,
+                "arrays": {
+                    "user_ir": u_ir.data.copy(),
+                    "item_ir": v_ir.data.copy(),
+                    "user_tg": u_tg.data.copy(),
+                    "item_tg": v_tg.data.copy(),
+                    "alpha": self._alpha.copy(),
+                },
+            }
+
     def user_tag_distances(self, users: np.ndarray) -> np.ndarray:
         """Distances from users' tag-relevant embeddings to every tag.
 

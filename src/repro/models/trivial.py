@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data import InteractionDataset, Split
+from ..utils import ensure_rng
 from .base import Recommender, TrainConfig
 
 __all__ = ["Popularity", "Random"]
@@ -51,6 +52,20 @@ class Random(Recommender):
 
     def score_users(self, users) -> np.ndarray:
         return self.rng.random((len(users), self.train_data.n_items))
+
+    def frozen_scores(self) -> dict:
+        """Seed-deterministic dense snapshot (idempotent exports).
+
+        A live ``Random`` draws fresh scores per call, so a frozen export
+        instead replays the *first* draw of a fresh generator with the
+        model's seed: exactly what a newly constructed ``Random`` returns
+        for one all-users ``score_users`` call.  Exports are therefore
+        reproducible and independent of how often the live model was
+        queried before exporting.
+        """
+        rng = ensure_rng(self.config.seed)
+        scores = rng.random((self.train_data.n_users, self.train_data.n_items))
+        return {"score_fn": "dense", "arrays": {"scores": scores}}
 
     def parameters(self):
         return iter(())

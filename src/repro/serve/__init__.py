@@ -1,0 +1,58 @@
+"""Inference/serving subsystem: freeze a trained model, serve top-K.
+
+The serving spine is ``train → export → serve``:
+
+* :func:`export_model` / :func:`export_from_checkpoint` freeze a trained
+  model (live, or rebuilt from a ``repro.ckpt/v1`` checkpoint / run dir)
+  into a versioned ``repro.model/v1`` ``.npz`` artifact;
+* :class:`RecommenderService` loads an artifact and answers
+  ``recommend(user, k, exclude_seen=True)`` / ``score(user, items)``
+  with pure-numpy batched scoring, an optional precomputed top-K index,
+  a bounded LRU cache, and latency/throughput counters;
+* :func:`create_server` wraps a service in a stdlib JSON HTTP endpoint
+  (``python -m repro serve``).
+
+Served rankings are guaranteed identical to the offline evaluator's
+(same deterministic ``(-score, id)`` tiebreak, same exclude-seen
+masking) — see ``tests/test_serve_parity.py`` and ``docs/SERVE.md``.
+"""
+
+from .artifact import (
+    MODEL_SCHEMA,
+    ModelArtifact,
+    export_from_checkpoint,
+    export_model,
+    export_payload,
+    load_artifact,
+    validate_model_artifact,
+)
+from .errors import (
+    ArtifactError,
+    BadRequestError,
+    SchemaMismatchError,
+    ServeError,
+    UnknownScoreFnError,
+)
+from .http import ServiceHTTPServer, create_server
+from .scoring import SCORE_FNS, FrozenScorer
+from .service import RecommenderService
+
+__all__ = [
+    "MODEL_SCHEMA",
+    "ModelArtifact",
+    "export_model",
+    "export_payload",
+    "export_from_checkpoint",
+    "load_artifact",
+    "validate_model_artifact",
+    "ServeError",
+    "ArtifactError",
+    "SchemaMismatchError",
+    "UnknownScoreFnError",
+    "BadRequestError",
+    "SCORE_FNS",
+    "FrozenScorer",
+    "RecommenderService",
+    "ServiceHTTPServer",
+    "create_server",
+]

@@ -1,0 +1,111 @@
+"""``repro export`` / ``repro serve`` subcommands.
+
+Usage:
+    python -m repro export runs/taxorec --out models/taxorec.npz
+    python -m repro export runs/taxorec/checkpoint_0009.npz --out m.npz --best
+    python -m repro serve models/taxorec.npz --port 8731 --index-k 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .artifact import export_from_checkpoint, load_artifact
+from .errors import ServeError
+from .http import create_server
+from .service import RecommenderService
+
+__all__ = ["export_main", "serve_main", "build_export_parser", "build_serve_parser"]
+
+
+def build_export_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro export``."""
+    parser = argparse.ArgumentParser(
+        prog="repro export",
+        description="Freeze a repro.ckpt/v1 checkpoint (or run dir) into a "
+        "servable repro.model/v1 artifact",
+    )
+    parser.add_argument(
+        "source",
+        help="checkpoint .npz with embedded run info, or a run directory "
+        "(its latest checkpoint is used)",
+    )
+    parser.add_argument("--out", metavar="PATH", default="model.npz",
+                        help="artifact output path (default: model.npz)")
+    parser.add_argument("--best", action="store_true",
+                        help="export the best-validation snapshot instead of the final weights")
+    return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve top-K recommendations from a repro.model/v1 artifact "
+        "over a JSON HTTP endpoint",
+    )
+    parser.add_argument("artifact", help="path to a repro.model/v1 .npz artifact")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8731, help="0 picks an ephemeral port")
+    parser.add_argument("--cache-size", type=int, default=1024, metavar="N",
+                        help="LRU response-cache capacity (0 disables)")
+    parser.add_argument("--index-k", type=int, default=0, metavar="K",
+                        help="precompute a top-K index for all users at startup")
+    parser.add_argument("--max-requests", type=int, default=0, metavar="N",
+                        help="exit after serving N requests (0 = serve forever); "
+                        "used by smoke tests")
+    return parser
+
+
+def export_main(argv: list[str]) -> int:
+    """Entry point for the ``export`` subcommand."""
+    args = build_export_parser().parse_args(argv)
+    try:
+        out = export_from_checkpoint(args.source, args.out, best=args.best)
+    except (ServeError, KeyError, TypeError) as exc:
+        print(f"export failed: {exc}", file=sys.stderr)
+        return 2
+    artifact = load_artifact(out)  # self-check: refuse to leave an invalid file behind
+    dataset = artifact.meta["dataset"]
+    print(
+        f"exported {artifact.model_name} (score_fn={artifact.score_fn}) "
+        f"trained on {dataset['name']} "
+        f"({dataset['n_users']} users × {dataset['n_items']} items) → {out}"
+    )
+    return 0
+
+
+def serve_main(argv: list[str]) -> int:
+    """Entry point for the ``serve`` subcommand."""
+    args = build_serve_parser().parse_args(argv)
+    try:
+        service = RecommenderService(
+            args.artifact, cache_size=args.cache_size, index_k=args.index_k
+        )
+    except ServeError as exc:
+        print(f"cannot serve {args.artifact}: {exc}", file=sys.stderr)
+        return 2
+    server = create_server(service, host=args.host, port=args.port)
+    if args.max_requests > 0:
+        # Bounded mode exits right after the last accept; handler threads
+        # must be non-daemon so server_close() joins the in-flight reply
+        # (socketserver never tracks daemon threads for joining).
+        server.daemon_threads = False
+    host, port = server.server_address[:2]
+    print(
+        f"serving {service.artifact.model_name} (score_fn={service.artifact.score_fn}) "
+        f"on http://{host}:{port}",
+        flush=True,
+    )
+    try:
+        if args.max_requests > 0:
+            for _ in range(args.max_requests):
+                server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0

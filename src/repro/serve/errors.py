@@ -1,0 +1,47 @@
+"""Typed error hierarchy for the serving subsystem.
+
+Every failure mode the serving path can hit maps to one exception class,
+so callers (CLI, HTTP endpoint, tests) can branch on type instead of
+string-matching messages:
+
+* :class:`ServeError` — common base; never raised directly.
+* :class:`ArtifactError` — the ``.npz`` artifact is unreadable or
+  structurally broken (corrupted zip, missing metadata, bad JSON).
+* :class:`SchemaMismatchError` — the artifact parses but declares a
+  schema other than ``repro.model/v1`` or fails structural validation.
+* :class:`UnknownScoreFnError` — the artifact names a score function id
+  this build does not register (artifact from a newer code version).
+* :class:`BadRequestError` — a well-formed service received a bad
+  request: user/item id out of range, non-positive ``k``, malformed
+  parameters.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "ArtifactError",
+    "SchemaMismatchError",
+    "UnknownScoreFnError",
+    "BadRequestError",
+]
+
+
+class ServeError(Exception):
+    """Base class for every serving-layer failure."""
+
+
+class ArtifactError(ServeError):
+    """The model artifact could not be read (corrupted or incomplete file)."""
+
+
+class SchemaMismatchError(ArtifactError):
+    """The artifact's schema tag or structure does not match ``repro.model/v1``."""
+
+
+class UnknownScoreFnError(ArtifactError):
+    """The artifact requires a score function this build does not provide."""
+
+
+class BadRequestError(ServeError):
+    """A serving request referenced ids or parameters outside the model's range."""

@@ -1,0 +1,169 @@
+"""A stdlib JSON endpoint over :class:`RecommenderService`.
+
+No web framework — ``http.server`` from the standard library, threaded so
+concurrent clients do not serialise behind one socket.  Routes:
+
+* ``GET  /health``      → ``{"status": "ok", "model": ..., "schema": ...}``
+* ``GET  /stats``       → the service's :meth:`stats` snapshot
+* ``GET  /recommend?user=U&k=K&exclude_seen=1`` → top-K items + scores
+* ``POST /score``       → body ``{"user": U, "items": [...]}`` → scores
+
+Bad requests (out-of-range ids, malformed parameters or bodies) return
+``400`` with ``{"error": ...}``; unknown paths return ``404``.  The
+server never dies on a request error — typed :class:`ServeError`\\ s are
+translated to status codes, everything else is a ``500`` with the
+exception name.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..utils import get_logger
+from .artifact import MODEL_SCHEMA
+from .errors import BadRequestError, ServeError
+from .service import RecommenderService
+
+__all__ = ["ServiceHTTPServer", "create_server"]
+
+logger = get_logger("repro.serve.http")
+
+_TRUE = {"1", "true", "yes", "on"}
+_FALSE = {"0", "false", "no", "off"}
+
+
+def _parse_bool(raw: str, name: str) -> bool:
+    value = raw.strip().lower()
+    if value in _TRUE:
+        return True
+    if value in _FALSE:
+        return False
+    raise BadRequestError(f"{name} must be a boolean flag, got {raw!r}")
+
+
+def _parse_int(raw: str, name: str) -> int:
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise BadRequestError(f"{name} must be an integer, got {raw!r}") from exc
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`RecommenderService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: RecommenderService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 (stdlib signature)
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _guarded(self, handler) -> None:
+        try:
+            code, payload = handler()
+        except BadRequestError as exc:
+            code, payload = 400, {"error": str(exc)}
+        except ServeError as exc:
+            code, payload = 500, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            logger.exception("unhandled serving error")
+            code, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self._reply(code, payload)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        url = urlparse(self.path)
+        if url.path == "/health":
+            self._guarded(self._health)
+        elif url.path == "/stats":
+            self._guarded(lambda: (200, self.server.service.stats()))
+        elif url.path == "/recommend":
+            self._guarded(lambda: self._recommend(parse_qs(url.query)))
+        else:
+            self._reply(404, {"error": f"unknown path {url.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        url = urlparse(self.path)
+        if url.path == "/score":
+            self._guarded(self._score)
+        else:
+            self._reply(404, {"error": f"unknown path {url.path!r}"})
+
+    # ------------------------------------------------------------------
+    def _health(self) -> tuple[int, dict]:
+        service = self.server.service
+        return 200, {
+            "status": "ok",
+            "schema": MODEL_SCHEMA,
+            "model": service.artifact.model_name,
+            "score_fn": service.artifact.score_fn,
+            "n_users": service.n_users,
+            "n_items": service.n_items,
+        }
+
+    def _recommend(self, query: dict[str, list[str]]) -> tuple[int, dict]:
+        if "user" not in query:
+            raise BadRequestError("missing required query parameter 'user'")
+        user = _parse_int(query["user"][0], "user")
+        k = _parse_int(query["k"][0], "k") if "k" in query else 10
+        exclude_seen = (
+            _parse_bool(query["exclude_seen"][0], "exclude_seen")
+            if "exclude_seen" in query
+            else True
+        )
+        items, scores = self.server.service.recommend(user, k, exclude_seen=exclude_seen)
+        return 200, {
+            "user": user,
+            "k": int(len(items)),
+            "exclude_seen": exclude_seen,
+            "items": [int(i) for i in items],
+            "scores": [float(s) for s in scores],
+        }
+
+    def _score(self) -> tuple[int, dict]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError as exc:
+            raise BadRequestError("invalid Content-Length header") from exc
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BadRequestError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict) or "user" not in body or "items" not in body:
+            raise BadRequestError("body must be a JSON object with 'user' and 'items'")
+        scores = self.server.service.score(body["user"], body["items"])
+        return 200, {
+            "user": int(body["user"]),
+            "items": [int(i) for i in body["items"]],
+            "scores": [float(s) for s in scores],
+        }
+
+
+def create_server(
+    service: RecommenderService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """Bind a threaded JSON server to ``(host, port)`` (0 = ephemeral port).
+
+    The caller owns the lifecycle: ``serve_forever()`` (or repeated
+    ``handle_request()``) to serve, ``shutdown()`` + ``server_close()`` to
+    stop.  ``server.server_address`` carries the bound port.
+    """
+    return ServiceHTTPServer((host, port), service)

@@ -1,0 +1,285 @@
+"""``RecommenderService``: low-latency top-K serving over a frozen artifact.
+
+The service is the paper's scoring rule (Eq. 17 for TaxoRec, the
+baselines' own scorers otherwise) decoupled from training: pure-numpy
+batched scoring over the frozen arrays, the *same* deterministic
+``(-score, item_id)`` ranking as the offline evaluator
+(:func:`repro.eval.metrics.rank_topk`), and the same exclude-seen
+masking, so a served top-K list is bit-identical to the offline
+evaluator's ranking of the same model — the property
+``tests/test_serve_parity.py`` enforces for every registered model.
+
+Around that core sit the serving conveniences:
+
+* an optional precomputed top-K index (one batched pass over all users);
+* a bounded LRU response cache with explicit invalidation;
+* per-request latency / hit-rate counters surfaced by :meth:`stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from ..eval.metrics import rank_topk
+from .artifact import ModelArtifact, load_artifact
+from .errors import BadRequestError
+
+__all__ = ["RecommenderService"]
+
+
+class RecommenderService:
+    """Serve ``recommend``/``score`` requests from one model artifact.
+
+    Parameters
+    ----------
+    artifact:
+        A loaded :class:`~repro.serve.artifact.ModelArtifact` or a path to
+        one (``.npz``; loaded and validated on construction).
+    cache_size:
+        Capacity of the per-request LRU cache (0 disables caching).
+    index_k:
+        When positive, precompute a top-``index_k`` index for every user
+        at construction; ``recommend`` serves any ``k <= index_k`` with
+        ``exclude_seen=True`` straight from the index.
+    """
+
+    def __init__(self, artifact, cache_size: int = 1024, index_k: int = 0):
+        if not isinstance(artifact, ModelArtifact):
+            artifact = load_artifact(Path(artifact))
+        self.artifact = artifact
+        self.scorer = artifact.scorer()
+        self.n_users = self.scorer.n_users
+        self.n_items = self.scorer.n_items
+        self._lock = threading.Lock()
+        self._cache: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self._cache_capacity = max(int(cache_size), 0)
+        self._index: dict | None = None
+        self._counts = {"recommend": 0, "score": 0}
+        self._cache_stats = {"hits": 0, "misses": 0, "evictions": 0, "invalidations": 0}
+        self._latency = {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+        self._started = time.time()
+        if index_k:
+            self.build_index(index_k)
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _check_user(self, user: int) -> int:
+        try:
+            user = int(user)
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(f"user id must be an integer, got {user!r}") from exc
+        if not 0 <= user < self.n_users:
+            raise BadRequestError(
+                f"user id {user} out of range for a model with {self.n_users} users"
+            )
+        return user
+
+    def _check_items(self, items) -> np.ndarray:
+        try:
+            items = np.asarray(items, dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(f"item ids must be integers, got {items!r}") from exc
+        if items.ndim != 1:
+            raise BadRequestError("items must be a flat list of item ids")
+        if len(items) and (items.min() < 0 or items.max() >= self.n_items):
+            bad = items[(items < 0) | (items >= self.n_items)][0]
+            raise BadRequestError(
+                f"item id {int(bad)} out of range for a model with {self.n_items} items"
+            )
+        return items
+
+    def seen_items(self, user: int) -> np.ndarray:
+        """Item ids the user interacted with in the exported training data."""
+        return self.artifact.seen_items(self._check_user(user))
+
+    # ------------------------------------------------------------------
+    # Scoring core
+    # ------------------------------------------------------------------
+    def _masked_scores(self, users: np.ndarray, exclude_seen: bool) -> np.ndarray:
+        """Batched float64 scores with seen items masked to ``-inf``.
+
+        Mirrors :func:`repro.eval.evaluator.evaluate`: same dtype, same
+        CSR row slicing, same ``-inf`` masking, so rankings agree exactly.
+        """
+        scores = np.asarray(self.scorer.score_users(users), dtype=np.float64)
+        if exclude_seen:
+            indptr, indices = self.artifact.seen_indptr, self.artifact.seen_indices
+            starts, stops = indptr[users], indptr[users + 1]
+            rows = np.repeat(np.arange(len(users)), stops - starts)
+            cols = (
+                np.concatenate([indices[a:b] for a, b in zip(starts, stops)])
+                if len(rows)
+                else np.zeros(0, dtype=np.int64)
+            )
+            scores[rows, cols] = -np.inf
+        return scores
+
+    def recommend(
+        self, user: int, k: int = 10, exclude_seen: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Deterministic top-``k`` ``(item_ids, scores)`` for one user.
+
+        Ranking key is ``(-score, item_id)`` — identical to the offline
+        evaluator.  ``k`` larger than the catalogue is clamped; seen items
+        (scored ``-inf``) can only appear once unseen items run out.
+        """
+        t0 = time.perf_counter()
+        user = self._check_user(user)
+        try:
+            k = int(k)
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(f"k must be an integer, got {k!r}") from exc
+        if k < 1:
+            raise BadRequestError(f"k must be positive, got {k}")
+        k = min(k, self.n_items)
+        exclude_seen = bool(exclude_seen)
+        key = (user, k, exclude_seen)
+        with self._lock:
+            self._counts["recommend"] += 1
+            cached = self._cache_get(key)
+        if cached is None:
+            items, values = self._compute_topk(user, k, exclude_seen)
+            with self._lock:
+                self._cache_put(key, (items, values))
+        else:
+            items, values = cached
+        self._record_latency(time.perf_counter() - t0)
+        return items.copy(), values.copy()
+
+    def _compute_topk(self, user: int, k: int, exclude_seen: bool) -> tuple:
+        index = self._index
+        if (
+            index is not None
+            and exclude_seen == index["exclude_seen"]
+            and k <= index["k"]
+        ):
+            # A prefix of the index *is* the top-k: the ranking key is a
+            # total order, so smaller k lists are prefixes of larger ones.
+            return index["items"][user, :k], index["scores"][user, :k]
+        users = np.asarray([user], dtype=np.int64)
+        scores = self._masked_scores(users, exclude_seen)
+        top = rank_topk(scores, k)[0]
+        return top, scores[0, top]
+
+    def score(self, user: int, items) -> np.ndarray:
+        """Raw (unmasked) scores for explicit ``(user, items)`` pairs."""
+        t0 = time.perf_counter()
+        user = self._check_user(user)
+        items = self._check_items(items)
+        with self._lock:
+            self._counts["score"] += 1
+        full = self._masked_scores(np.asarray([user], dtype=np.int64), exclude_seen=False)[0]
+        out = full[items]
+        self._record_latency(time.perf_counter() - t0)
+        return out
+
+    # ------------------------------------------------------------------
+    # Precomputed top-K index
+    # ------------------------------------------------------------------
+    def build_index(self, k: int, exclude_seen: bool = True, batch_users: int = 512) -> None:
+        """One batched scoring pass over all users → a ``(n_users, k)`` index."""
+        if k < 1:
+            raise BadRequestError(f"index k must be positive, got {k}")
+        k = min(int(k), self.n_items)
+        items = np.zeros((self.n_users, k), dtype=np.int64)
+        scores = np.zeros((self.n_users, k), dtype=np.float64)
+        for start in range(0, self.n_users, batch_users):
+            users = np.arange(start, min(start + batch_users, self.n_users), dtype=np.int64)
+            batch_scores = self._masked_scores(users, exclude_seen)
+            top = rank_topk(batch_scores, k)
+            items[start : start + len(users)] = top
+            scores[start : start + len(users)] = np.take_along_axis(batch_scores, top, axis=1)
+        with self._lock:
+            self._index = {"k": k, "exclude_seen": bool(exclude_seen), "items": items, "scores": scores}
+
+    # ------------------------------------------------------------------
+    # LRU cache
+    # ------------------------------------------------------------------
+    def _cache_get(self, key: tuple):
+        if not self._cache_capacity:
+            self._cache_stats["misses"] += 1
+            return None
+        hit = self._cache.get(key)
+        if hit is None:
+            self._cache_stats["misses"] += 1
+            return None
+        self._cache.move_to_end(key)
+        self._cache_stats["hits"] += 1
+        return hit
+
+    def _cache_put(self, key: tuple, value: tuple) -> None:
+        if not self._cache_capacity:
+            return
+        if key in self._cache:
+            self._cache.move_to_end(key)
+        self._cache[key] = value
+        while len(self._cache) > self._cache_capacity:
+            self._cache.popitem(last=False)
+            self._cache_stats["evictions"] += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached response and the precomputed index.
+
+        Call after swapping the artifact's arrays (e.g. a hot reload);
+        subsequent requests recompute from the frozen arrays.
+        """
+        with self._lock:
+            self._cache.clear()
+            self._index = None
+            self._cache_stats["invalidations"] += 1
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _record_latency(self, seconds: float) -> None:
+        with self._lock:
+            lat = self._latency
+            lat["count"] += 1
+            lat["total_seconds"] += seconds
+            if seconds > lat["max_seconds"]:
+                lat["max_seconds"] = seconds
+
+    def stats(self) -> dict:
+        """Snapshot of request, cache, index and latency counters."""
+        with self._lock:
+            uptime = time.time() - self._started
+            count = self._latency["count"]
+            total = self._latency["total_seconds"]
+            index = self._index
+            return {
+                "model": self.artifact.model_name,
+                "score_fn": self.artifact.score_fn,
+                "n_users": self.n_users,
+                "n_items": self.n_items,
+                "requests": {
+                    "recommend": self._counts["recommend"],
+                    "score": self._counts["score"],
+                    "total": self._counts["recommend"] + self._counts["score"],
+                },
+                "cache": {
+                    "capacity": self._cache_capacity,
+                    "size": len(self._cache),
+                    **dict(self._cache_stats),
+                },
+                "index": None
+                if index is None
+                else {"k": index["k"], "exclude_seen": index["exclude_seen"]},
+                "latency": {
+                    "count": count,
+                    "total_seconds": total,
+                    "mean_seconds": total / count if count else 0.0,
+                    "max_seconds": self._latency["max_seconds"],
+                },
+                "uptime_seconds": uptime,
+                "throughput_rps": count / uptime if uptime > 0 else 0.0,
+            }

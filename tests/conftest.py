@@ -1,11 +1,32 @@
-"""Shared fixtures: tiny deterministic datasets so model tests stay fast."""
+"""Shared fixtures: tiny deterministic datasets so model tests stay fast.
+
+Also registers the Hypothesis settings profiles used by the test tiers:
+
+* ``dev`` (default) — Hypothesis defaults: fresh random examples per run,
+  the strongest configuration for finding new counterexamples locally.
+* ``ci`` — fixed-seed/derandomized with no deadline, so CI runs are
+  reproducible and immune to machine-speed flakiness.
+
+Select with ``REPRO_HYPOTHESIS_PROFILE=ci pytest ...`` (CI sets this).
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.data import InteractionDataset, SyntheticConfig, generate, temporal_split
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+
+    _hypothesis_settings.register_profile("ci", derandomize=True, deadline=None)
+    _hypothesis_settings.register_profile("dev")
+    _hypothesis_settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # hypothesis is an optional dev dependency
+    pass
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +51,26 @@ def tiny_split(tiny_dataset):
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_run_dir(tmp_path_factory):
+    """A completed ``repro.run/v1`` run directory with per-epoch checkpoints.
+
+    Shared by the serve export/CLI tests: 2 epochs of CML on the smallest
+    ciao scale, checkpointed every epoch, so both ``checkpoint_0000.npz``
+    and ``checkpoint_0001.npz`` exist with embedded run info.
+    """
+    from repro.train import execute_run
+
+    out_dir = tmp_path_factory.mktemp("run") / "cml"
+    outcome = execute_run(
+        model="CML",
+        dataset="ciao",
+        scale=0.08,
+        epochs=2,
+        seed=0,
+        out_dir=out_dir,
+        checkpoint_every=1,
+    )
+    return outcome.run_dir.path

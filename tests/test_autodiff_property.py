@@ -1,11 +1,14 @@
 """Hypothesis property tests for the autodiff engine."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.autodiff import Tensor, check_gradients
+
+pytestmark = pytest.mark.slow
 
 finite = st.floats(-3.0, 3.0, allow_nan=False)
 

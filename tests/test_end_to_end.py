@@ -10,6 +10,8 @@ import pytest
 from repro import TaxoRec, TrainConfig, evaluate, load_preset, temporal_split
 from repro.taxonomy import evaluate_recovery
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def pipeline():

@@ -1,6 +1,7 @@
 """Hypothesis property tests on the geometry substrate."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
@@ -14,6 +15,8 @@ from repro.manifolds import (
     poincare_to_klein_np,
     poincare_to_lorentz_np,
 )
+
+pytestmark = pytest.mark.slow
 
 ball = PoincareBall()
 lor = Lorentz()

@@ -1,12 +1,15 @@
 """Hypothesis property tests on the optimisers."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.autodiff import Parameter, Tensor
 from repro.manifolds import Lorentz, PoincareBall
 from repro.optim import SGD, Adam, RiemannianSGD
+
+pytestmark = pytest.mark.slow
 
 coords2 = st.tuples(st.floats(-0.5, 0.5), st.floats(-0.5, 0.5))
 

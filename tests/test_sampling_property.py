@@ -11,10 +11,13 @@ short of complete still receive true negatives via the exact fallback.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data import InteractionDataset, TripletSampler
+
+pytestmark = pytest.mark.slow
 
 
 def _dataset(n_users: int, n_items: int, pairs: set[tuple[int, int]]) -> InteractionDataset:

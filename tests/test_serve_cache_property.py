@@ -1,0 +1,89 @@
+"""Property tests for the serving LRU cache (Hypothesis, tier-2 ``slow``).
+
+For arbitrary request streams interleaved with invalidations, at any
+capacity:
+
+* the cache never exceeds its capacity;
+* hit + miss counters always reconcile with the number of ``recommend``
+  calls;
+* every response — cached, evicted-and-recomputed, or post-invalidation —
+  is identical to an uncached service's answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import RecommenderService, export_payload, load_artifact
+
+pytestmark = pytest.mark.slow
+
+N_USERS, N_ITEMS = 12, 17
+
+
+@pytest.fixture(scope="module")
+def artifact(tiny_split, tmp_path_factory):
+    train = tiny_split.train
+    rng = np.random.default_rng(5)
+    path = tmp_path_factory.mktemp("prop") / "dense.npz"
+    export_payload(
+        path,
+        score_fn="dense",
+        arrays={"scores": rng.random((train.n_users, train.n_items))},
+        train=train,
+        model_name="Dense",
+    )
+    return load_artifact(path)
+
+
+_REQUEST = st.tuples(
+    st.integers(min_value=0, max_value=N_USERS - 1),
+    st.integers(min_value=1, max_value=N_ITEMS),
+    st.booleans(),
+)
+_OP = st.one_of(_REQUEST, st.just("invalidate"))
+
+
+@settings(max_examples=40, deadline=None)
+@given(capacity=st.integers(min_value=0, max_value=6), ops=st.lists(_OP, max_size=40))
+def test_cache_invariants_hold_for_any_request_stream(artifact, capacity, ops):
+    service = RecommenderService(artifact, cache_size=capacity)
+    oracle = RecommenderService(artifact, cache_size=0)
+    recommend_calls = 0
+    for op in ops:
+        if op == "invalidate":
+            service.invalidate()
+            assert service.cache_size == 0
+            continue
+        user, k, exclude_seen = op
+        items, scores = service.recommend(user, k=k, exclude_seen=exclude_seen)
+        recommend_calls += 1
+        expected_items, expected_scores = oracle.recommend(user, k=k, exclude_seen=exclude_seen)
+        np.testing.assert_array_equal(items, expected_items)
+        np.testing.assert_array_equal(scores, expected_scores)
+        assert service.cache_size <= capacity
+    stats = service.stats()["cache"]
+    assert stats["hits"] + stats["misses"] == recommend_calls
+    assert stats["hits"] + stats["misses"] == service.stats()["requests"]["recommend"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(requests=st.lists(_REQUEST, min_size=1, max_size=25))
+def test_invalidation_forces_recompute_with_identical_results(artifact, requests):
+    service = RecommenderService(artifact, cache_size=8)
+    before = [service.recommend(u, k=k, exclude_seen=e) for u, k, e in requests]
+    hits_before = service.stats()["cache"]["hits"]
+    service.invalidate()
+    after = [service.recommend(u, k=k, exclude_seen=e) for u, k, e in requests]
+    for (items_a, scores_a), (items_b, scores_b) in zip(before, after):
+        np.testing.assert_array_equal(items_a, items_b)
+        np.testing.assert_array_equal(scores_a, scores_b)
+    # The first post-invalidation occurrence of each distinct key is a miss.
+    distinct = len(set(requests))
+    stats = service.stats()["cache"]
+    assert stats["misses"] >= distinct
+    assert stats["hits"] >= hits_before

@@ -1,0 +1,171 @@
+"""The JSON HTTP endpoint: routes, payload shapes, typed status codes.
+
+Spins a real :class:`ServiceHTTPServer` on an ephemeral port and talks
+to it with ``urllib`` — no mocking, the same wire path ``repro serve``
+exposes.  Bad requests must come back ``400`` with an ``error`` body,
+unknown routes ``404``, and the server must survive all of them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import MODEL_SCHEMA, RecommenderService, create_server, export_payload
+
+
+@pytest.fixture(scope="module")
+def service(tiny_split, tmp_path_factory):
+    rng = np.random.default_rng(9)
+    train = tiny_split.train
+    path = tmp_path_factory.mktemp("http") / "dense.npz"
+    export_payload(
+        path,
+        score_fn="dense",
+        arrays={"scores": rng.random((train.n_users, train.n_items))},
+        train=train,
+        model_name="Dense",
+    )
+    return RecommenderService(path)
+
+
+@pytest.fixture(scope="module")
+def base_url(service):
+    server = create_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(url: str, body: bytes) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestHealth:
+    def test_health_reports_model_identity(self, base_url, service):
+        code, body = _get(f"{base_url}/health")
+        assert code == 200
+        assert body == {
+            "status": "ok",
+            "schema": MODEL_SCHEMA,
+            "model": "Dense",
+            "score_fn": "dense",
+            "n_users": service.n_users,
+            "n_items": service.n_items,
+        }
+
+
+class TestRecommend:
+    def test_matches_service_directly(self, base_url, service):
+        code, body = _get(f"{base_url}/recommend?user=3&k=7")
+        assert code == 200
+        items, scores = service.recommend(3, k=7)
+        assert body["user"] == 3
+        assert body["k"] == 7
+        assert body["exclude_seen"] is True
+        assert body["items"] == [int(i) for i in items]
+        assert body["scores"] == pytest.approx([float(s) for s in scores])
+
+    def test_k_defaults_to_ten(self, base_url):
+        code, body = _get(f"{base_url}/recommend?user=0")
+        assert code == 200
+        assert body["k"] == 10
+
+    def test_exclude_seen_flag_parsing(self, base_url, service):
+        code, body = _get(f"{base_url}/recommend?user=2&k=5&exclude_seen=false")
+        assert code == 200
+        items, _ = service.recommend(2, k=5, exclude_seen=False)
+        assert body["exclude_seen"] is False
+        assert body["items"] == [int(i) for i in items]
+
+    def test_missing_user_is_400(self, base_url):
+        code, body = _get(f"{base_url}/recommend?k=5")
+        assert code == 400
+        assert "user" in body["error"]
+
+    def test_out_of_range_user_is_400(self, base_url):
+        code, body = _get(f"{base_url}/recommend?user=99999")
+        assert code == 400
+        assert "out of range" in body["error"]
+
+    def test_malformed_k_is_400(self, base_url):
+        code, body = _get(f"{base_url}/recommend?user=0&k=ten")
+        assert code == 400
+        assert "integer" in body["error"]
+
+    def test_malformed_exclude_seen_is_400(self, base_url):
+        code, body = _get(f"{base_url}/recommend?user=0&exclude_seen=maybe")
+        assert code == 400
+        assert "boolean" in body["error"]
+
+
+class TestScore:
+    def test_matches_service_directly(self, base_url, service):
+        payload = json.dumps({"user": 1, "items": [0, 5, 9]}).encode()
+        code, body = _post(f"{base_url}/score", payload)
+        assert code == 200
+        assert body["scores"] == pytest.approx(list(service.score(1, [0, 5, 9])))
+
+    def test_invalid_json_is_400(self, base_url):
+        code, body = _post(f"{base_url}/score", b"{not json")
+        assert code == 400
+        assert "JSON" in body["error"]
+
+    def test_missing_fields_is_400(self, base_url):
+        code, body = _post(f"{base_url}/score", json.dumps({"user": 1}).encode())
+        assert code == 400
+        assert "items" in body["error"]
+
+    def test_out_of_range_item_is_400(self, base_url, service):
+        payload = json.dumps({"user": 0, "items": [service.n_items]}).encode()
+        code, body = _post(f"{base_url}/score", payload)
+        assert code == 400
+        assert "out of range" in body["error"]
+
+
+class TestStatsAndRouting:
+    def test_stats_snapshot_served(self, base_url):
+        code, body = _get(f"{base_url}/stats")
+        assert code == 200
+        assert {"model", "requests", "cache", "latency"} <= set(body)
+
+    def test_unknown_get_path_is_404(self, base_url):
+        code, body = _get(f"{base_url}/nope")
+        assert code == 404
+        assert "/nope" in body["error"]
+
+    def test_unknown_post_path_is_404(self, base_url):
+        code, _ = _post(f"{base_url}/recommend", b"{}")
+        assert code == 404
+
+    def test_server_survives_errors(self, base_url):
+        """A burst of bad requests must not take the server down."""
+        for _ in range(3):
+            _get(f"{base_url}/recommend?user=-1")
+            _post(f"{base_url}/score", b"garbage")
+        code, _ = _get(f"{base_url}/health")
+        assert code == 200

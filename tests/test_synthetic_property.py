@@ -1,10 +1,13 @@
 """Hypothesis property tests on the synthetic generator and splits."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data import SyntheticConfig, generate, temporal_split
+
+pytestmark = pytest.mark.slow
 
 
 @st.composite
