@@ -1,0 +1,87 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the gate demand "no *new* error-severity findings" while a
+known backlog is burned down: findings whose fingerprint appears in the
+committed baseline file are reported separately and never fail the run.
+
+Fingerprints are line-number-independent — ``sha256(path :: rule ::
+stripped source line)`` plus an occurrence index for repeated identical
+lines — so unrelated edits above a grandfathered finding do not un-baseline
+it, while any change to the offending line itself surfaces the finding
+again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .registry import Violation
+
+__all__ = ["Baseline", "fingerprint", "split_by_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint(violation: Violation, occurrence: int = 0) -> str:
+    """Stable id for one finding; ``occurrence`` disambiguates repeats."""
+    payload = f"{violation.path}::{violation.rule}::{violation.snippet}::{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def _fingerprints(violations: Sequence[Violation]) -> list[str]:
+    """Fingerprints in order, numbering repeated (path, rule, snippet) keys."""
+    counts: dict[tuple[str, str, str], int] = {}
+    out = []
+    for v in violations:
+        key = (v.path, v.rule, v.snippet)
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        out.append(fingerprint(v, occurrence))
+    return out
+
+
+class Baseline:
+    """The committed set of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: dict[str, dict] | None = None):
+        self.entries = entries or {}
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file (missing file → empty baseline)."""
+        file_path = Path(path)
+        if not file_path.is_file():
+            return cls()
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} in {path}"
+            )
+        return cls(payload.get("entries", {}))
+
+    def write(self, path: str | Path, violations: Sequence[Violation]) -> None:
+        """Replace the baseline with the given findings (sorted, stable)."""
+        entries = {}
+        for v, fp in zip(violations, _fingerprints(violations)):
+            entries[fp] = {
+                "rule": v.rule,
+                "path": v.path,
+                "severity": v.severity,
+                "message": v.message,
+            }
+        payload = {"version": _FORMAT_VERSION, "entries": dict(sorted(entries.items()))}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_by_baseline(
+    violations: Sequence[Violation], baseline: Baseline
+) -> tuple[list[Violation], list[Violation]]:
+    """Partition findings into (new, grandfathered) against a baseline."""
+    new: list[Violation] = []
+    old: list[Violation] = []
+    for v, fp in zip(violations, _fingerprints(violations)):
+        (old if fp in baseline.entries else new).append(v)
+    return new, old

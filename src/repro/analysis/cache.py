@@ -1,0 +1,118 @@
+"""Content-hash incremental cache for the lint walk.
+
+The cache keys each file's post-suppression findings by a SHA-256 of its
+raw bytes plus a signature of the active rule set, and the whole-project
+pass by the combined hash of every analysed file.  A warm re-run over an
+unchanged tree therefore only hashes bytes — no tokenising, no parsing, no
+rule dispatch — which is what keeps the self-lint gate fast enough to run
+on every push (``tests/test_analysis_incremental.py`` asserts the speedup).
+
+The format is a private implementation detail: any schema or rule change
+bumps :data:`CACHE_VERSION` and silently invalidates old files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .registry import Violation
+
+__all__ = ["CACHE_VERSION", "LintCache", "file_digest", "ruleset_signature"]
+
+CACHE_VERSION = 2
+
+
+def file_digest(data: bytes) -> str:
+    """Content hash of one file's raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def ruleset_signature(rule_names: list[str], select, ignore) -> str:
+    """Hash of everything that changes findings besides file content."""
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "rules": sorted(rule_names),
+            "select": sorted(select or []),
+            "ignore": sorted(ignore or []),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Load/store per-file and project-pass findings keyed by content hashes."""
+
+    def __init__(self, path: str | Path, signature: str):
+        self.path = Path(path)
+        self.signature = signature
+        self._files: dict[str, dict] = {}
+        self._project: dict = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return  # unreadable/corrupt cache: start cold
+        if payload.get("signature") != self.signature:
+            return  # rule set changed: every entry is stale
+        self._files = payload.get("files", {})
+        self._project = payload.get("project", {})
+
+    # ------------------------------------------------------------------
+    # Per-file entries
+    # ------------------------------------------------------------------
+    def get_file(self, path: str, digest: str) -> list[Violation] | None:
+        entry = self._files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        return [Violation.from_dict(v) for v in entry["violations"]]
+
+    def put_file(self, path: str, digest: str, violations: list[Violation]) -> None:
+        self._files[path] = {
+            "digest": digest,
+            "violations": [v.to_dict() for v in violations],
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Project pass
+    # ------------------------------------------------------------------
+    @staticmethod
+    def project_key(per_file_digests: dict[str, str]) -> str:
+        payload = json.dumps(sorted(per_file_digests.items()))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def get_project(self, key: str) -> list[Violation] | None:
+        if self._project.get("key") != key:
+            return None
+        return [Violation.from_dict(v) for v in self._project["violations"]]
+
+    def put_project(self, key: str, violations: list[Violation]) -> None:
+        self._project = {"key": key, "violations": [v.to_dict() for v in violations]}
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        """Persist (atomically enough for a cache: best-effort, never raises)."""
+        if not self._dirty:
+            return
+        payload = {
+            "signature": self.signature,
+            "files": self._files,
+            "project": self._project,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            pass  # a cache that fails to persist only costs the next run time

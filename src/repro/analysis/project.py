@@ -1,0 +1,224 @@
+"""Whole-program context for cross-module (project) rules.
+
+:class:`ProjectContext` is built from every analysed file's AST in one pass
+and gives project rules three views the per-file engine cannot offer:
+
+* a **symbol table** — per module, the top-level classes, functions and
+  assignments, addressable by dotted module name;
+* an **import graph** — which project modules each module imports, so a
+  rule can follow a name from its use site to its definition;
+* a **class/attribute index** — every class with its bases, methods and
+  ``self.<attr> = ...`` assignments, plus a project-local MRO walk
+  (:meth:`ProjectContext.iter_mro` / :meth:`ProjectContext.find_method`).
+
+The analysis is name-based, not import-system-based: classes are resolved
+by their (usually unique) name across the project, which matches how this
+codebase is laid out and keeps the pass dependency-free and fast.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterator
+
+__all__ = ["ClassInfo", "ModuleInfo", "ProjectContext"]
+
+# Path components that anchor the dotted module name: everything after the
+# last occurrence of one of these is the module path.
+_ROOT_MARKERS = ("src",)
+
+
+def module_name_for_path(path: PurePosixPath) -> str:
+    """Dotted module name for a file path (``src/repro/a/b.py`` → ``repro.a.b``)."""
+    parts = list(path.parts)
+    for marker in _ROOT_MARKERS:
+        if marker in parts:
+            parts = parts[len(parts) - parts[::-1].index(marker):]
+            break
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: bases, methods and instance attributes."""
+
+    name: str
+    node: ast.ClassDef
+    module: "ModuleInfo"
+    base_names: list[str] = field(default_factory=list)
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    # attribute name -> list of `self.<attr> = <value>` value nodes.
+    self_assigns: dict[str, list[ast.AST]] = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        return str(self.module.path)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed file: tree, top-level symbols and imports."""
+
+    path: PurePosixPath
+    name: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    assigns: dict[str, ast.AST] = field(default_factory=dict)
+    imports: set[str] = field(default_factory=set)  # dotted module names
+
+    def line_text(self, lineno: int) -> str:
+        """The stripped source text of one 1-indexed line ('' out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+def _attr_chain(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute chains as text ('' for anything else)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _index_class(node: ast.ClassDef, module: ModuleInfo) -> ClassInfo:
+    info = ClassInfo(name=node.name, node=node, module=module)
+    for base in node.bases:
+        text = _attr_chain(base)
+        if text:
+            info.base_names.append(text)
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[item.name] = item
+            for sub in ast.walk(item):
+                targets: list[ast.AST] = []
+                value: ast.AST | None = None
+                if isinstance(sub, ast.Assign):
+                    targets, value = list(sub.targets), sub.value
+                elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)) and getattr(
+                    sub, "value", None
+                ) is not None:
+                    targets, value = [sub.target], sub.value
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        info.self_assigns.setdefault(target.attr, []).append(value)
+    return info
+
+
+class ProjectContext:
+    """Symbol table, import graph and class index over a set of parsed files."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}  # keyed by posix path string
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, files: list[tuple[PurePosixPath, str, ast.Module]]
+    ) -> "ProjectContext":
+        """Index ``(path, source, tree)`` triples in one pass."""
+        project = cls()
+        for path, source, tree in files:
+            project.add_file(path, source, tree)
+        return project
+
+    def add_file(self, path: PurePosixPath, source: str, tree: ast.Module) -> None:
+        module = ModuleInfo(
+            path=path,
+            name=module_name_for_path(path),
+            tree=tree,
+            lines=source.splitlines(),
+        )
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = _index_class(node, module)
+                module.classes[node.name] = info
+                self.classes_by_name.setdefault(node.name, []).append(info)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                module.functions[node.name] = node
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        module.assigns[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if node.value is not None:
+                    module.assigns[node.target.id] = node.value
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    module.imports.add(alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                module.imports.add(node.module)
+        self.modules[str(path)] = module
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def find_module(self, suffix: str) -> ModuleInfo | None:
+        """The unique module whose path ends with ``suffix`` (None if not one)."""
+        matches = [m for p, m in self.modules.items() if p.endswith(suffix)]
+        return matches[0] if len(matches) == 1 else None
+
+    def resolve_class(self, name: str) -> ClassInfo | None:
+        """The unique project class with ``name`` (None if absent/ambiguous)."""
+        simple = name.rsplit(".", 1)[-1]
+        matches = self.classes_by_name.get(simple, [])
+        return matches[0] if len(matches) == 1 else None
+
+    def iter_mro(self, info: ClassInfo) -> Iterator[ClassInfo]:
+        """The class and its project-resolvable ancestors, nearest first.
+
+        Bases defined outside the analysed files terminate the walk on that
+        branch; diamond repeats are visited once.
+        """
+        seen: set[int] = set()
+        stack = [info]
+        while stack:
+            current = stack.pop(0)
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            yield current
+            for base in current.base_names:
+                resolved = self.resolve_class(base)
+                if resolved is not None:
+                    stack.append(resolved)
+
+    def find_method(self, info: ClassInfo, name: str) -> tuple[ClassInfo, ast.FunctionDef] | None:
+        """Resolve a method through the project-local MRO (nearest definition)."""
+        for ancestor in self.iter_mro(info):
+            if name in ancestor.methods:
+                return ancestor, ancestor.methods[name]
+        return None
+
+    def is_subclass_of(self, info: ClassInfo, base_name: str) -> bool:
+        """Whether the class transitively names ``base_name`` as an ancestor.
+
+        Matches both project-resolved ancestors and unresolved base-name
+        text (``repro.autodiff.Module`` counts as ``Module``).
+        """
+        for ancestor in self.iter_mro(info):
+            if ancestor.name == base_name:
+                return True
+            for base in ancestor.base_names:
+                if base.rsplit(".", 1)[-1] == base_name:
+                    return True
+        return False

@@ -1,9 +1,19 @@
-"""Rule base class and the global rule registry.
+"""Rule base classes and the global rule registries.
 
-Every lint rule is a subclass of :class:`Rule` registered with the
-:func:`register` decorator.  The engine instantiates each registered rule
-once per process and asks it to check every file whose path passes
-:meth:`Rule.applies_to`.
+Two kinds of checks coexist:
+
+* **File rules** — subclasses of :class:`Rule` registered with
+  :func:`register`; each sees one parsed file (:class:`FileContext`) at a
+  time.
+* **Project rules** — subclasses of :class:`ProjectRule` registered with
+  :func:`register_project`; each sees the whole-program
+  :class:`~repro.analysis.project.ProjectContext` built from every analysed
+  file in one pass, and can therefore check cross-module contracts (the
+  serving export contract, reference-twin pairing, parameter-container
+  reachability).
+
+Both kinds share one flat name space: suppression comments and the CLI
+``--select``/``--ignore`` flags address either kind by name.
 """
 
 from __future__ import annotations
@@ -12,7 +22,23 @@ from dataclasses import dataclass, field
 from pathlib import PurePosixPath
 from typing import Iterable, Iterator, Type
 
-__all__ = ["Violation", "FileContext", "Rule", "register", "all_rules", "get_rule"]
+__all__ = [
+    "Violation",
+    "FileContext",
+    "Rule",
+    "ProjectRule",
+    "register",
+    "register_project",
+    "all_rules",
+    "all_project_rules",
+    "get_rule",
+    "known_rule_names",
+    "SEVERITIES",
+]
+
+# Every finding carries one of these; ``error`` findings gate CI, ``warn``
+# findings are advisory (reported, never an exit-code failure).
+SEVERITIES = ("error", "warn")
 
 
 @dataclass(frozen=True)
@@ -24,37 +50,75 @@ class Violation:
     line: int
     col: int
     message: str
+    severity: str = "error"
+    snippet: str = ""  # stripped source line, anchors baseline fingerprints
 
     def format(self) -> str:
         """Render in the canonical single-line text form."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+        tag = "" if self.severity == "error" else f" [{self.severity}]"
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}:{tag} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the reporter and the cache)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+            "snippet": self.snippet,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Violation":
+        """Inverse of :meth:`to_dict` (tolerates missing new fields)."""
+        return cls(
+            rule=payload["rule"],
+            path=payload["path"],
+            line=payload["line"],
+            col=payload["col"],
+            message=payload["message"],
+            severity=payload.get("severity", "error"),
+            snippet=payload.get("snippet", ""),
+        )
 
 
 @dataclass
 class FileContext:
-    """Everything a rule may inspect about one source file."""
+    """Everything a file rule may inspect about one source file."""
 
     path: PurePosixPath
     source: str
     tree: object  # ast.Module
     lines: list[str] = field(default_factory=list)
 
+    def line_text(self, lineno: int) -> str:
+        """The stripped source text of one 1-indexed line ('' out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
     def violation(self, rule: "Rule", node, message: str) -> Violation:
         """Build a :class:`Violation` anchored at an AST node."""
+        line = getattr(node, "lineno", 1)
         return Violation(
             rule=rule.name,
             path=str(self.path),
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
+            severity=rule.severity,
+            snippet=self.line_text(line),
         )
 
 
 class Rule:
-    """A single named check run over a parsed file."""
+    """A single named check run over one parsed file at a time."""
 
     name: str = "abstract-rule"
     description: str = ""
+    severity: str = "error"
 
     def applies_to(self, path: PurePosixPath) -> bool:
         """Whether this rule should run on ``path`` (default: every file)."""
@@ -65,27 +129,82 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule:
+    """A single named check run once over the whole analysed project."""
+
+    name: str = "abstract-project-rule"
+    description: str = ""
+    severity: str = "error"
+
+    def check_project(self, project) -> Iterable[Violation]:
+        """Yield violations found in a ``ProjectContext``."""
+        raise NotImplementedError
+
+    def violation(self, project, module, node, message: str) -> Violation:
+        """Build a :class:`Violation` anchored at a node of one module."""
+        line = getattr(node, "lineno", 1)
+        return Violation(
+            rule=self.name,
+            path=str(module.path),
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=self.severity,
+            snippet=module.line_text(line),
+        )
+
+
 _REGISTRY: dict[str, Rule] = {}
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
 
 
 def register(cls: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding a rule (by its ``name``) to the registry."""
+    """Class decorator adding a file rule (by its ``name``) to the registry."""
     instance = cls()
-    if instance.name in _REGISTRY:
+    if instance.name in _REGISTRY or instance.name in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule name {instance.name!r}")
     _REGISTRY[instance.name] = instance
     return cls
 
 
-def all_rules() -> Iterator[Rule]:
-    """All registered rules, sorted by name for stable output."""
+def register_project(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a project rule to the project registry."""
+    instance = cls()
+    if instance.name in _REGISTRY or instance.name in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate rule name {instance.name!r}")
+    _PROJECT_REGISTRY[instance.name] = instance
+    return cls
+
+
+def _load_rules() -> None:
     from . import rules as _rules  # noqa: F401  (import registers the rules)
 
+
+def all_rules() -> Iterator[Rule]:
+    """All registered file rules, sorted by name for stable output."""
+    _load_rules()
     return iter(sorted(_REGISTRY.values(), key=lambda r: r.name))
 
 
-def get_rule(name: str) -> Rule:
-    """Look up one rule by name (raises ``KeyError`` for unknown names)."""
-    from . import rules as _rules  # noqa: F401
+def all_project_rules() -> Iterator[ProjectRule]:
+    """All registered project rules, sorted by name for stable output."""
+    _load_rules()
+    return iter(sorted(_PROJECT_REGISTRY.values(), key=lambda r: r.name))
 
-    return _REGISTRY[name]
+
+def get_rule(name: str) -> Rule | ProjectRule:
+    """Look up one rule by name (raises ``KeyError`` for unknown names)."""
+    _load_rules()
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    return _PROJECT_REGISTRY[name]
+
+
+# Pseudo-rules the engine emits itself; valid targets for suppression.
+_PSEUDO_RULES = frozenset({"syntax-error", "bad-suppression"})
+
+
+def known_rule_names() -> frozenset[str]:
+    """Every addressable rule name: file rules, project rules, pseudo-rules."""
+    _load_rules()
+    return frozenset(_REGISTRY) | frozenset(_PROJECT_REGISTRY) | _PSEUDO_RULES

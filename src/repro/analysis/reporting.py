@@ -1,4 +1,4 @@
-"""Text and JSON reporters for lint findings."""
+"""Text, JSON and SARIF reporters for lint findings."""
 
 from __future__ import annotations
 
@@ -6,46 +6,110 @@ import json
 from collections import Counter
 from typing import IO, Sequence
 
-from .registry import Violation
+from .registry import Violation, all_project_rules, all_rules
 
-__all__ = ["render_text", "render_json", "write_report"]
+__all__ = ["render_text", "render_json", "render_sarif", "write_report", "REPORT_FORMATS"]
+
+REPORT_FORMATS = ("text", "json", "sarif")
+
+_SARIF_LEVELS = {"error": "error", "warn": "warning"}
 
 
-def render_text(violations: Sequence[Violation]) -> str:
+def _severity_counts(violations: Sequence[Violation]) -> tuple[int, int]:
+    errors = sum(1 for v in violations if v.severity == "error")
+    return errors, len(violations) - errors
+
+
+def render_text(violations: Sequence[Violation], baselined: int = 0) -> str:
     """One ``path:line:col: rule: message`` line per finding plus a summary."""
+    suffix = f" ({baselined} baselined finding(s) not shown)" if baselined else ""
     if not violations:
-        return "repro.analysis: no violations\n"
+        return f"repro.analysis: no violations{suffix}\n"
     lines = [v.format() for v in violations]
     counts = Counter(v.rule for v in violations)
     breakdown = ", ".join(f"{name}={n}" for name, n in sorted(counts.items()))
-    lines.append(f"repro.analysis: {len(violations)} violation(s) ({breakdown})")
+    errors, warnings = _severity_counts(violations)
+    lines.append(
+        f"repro.analysis: {len(violations)} violation(s) "
+        f"[{errors} error(s), {warnings} warning(s)] ({breakdown}){suffix}"
+    )
     return "\n".join(lines) + "\n"
 
 
-def render_json(violations: Sequence[Violation]) -> str:
-    """Machine-readable report: findings list plus per-rule counts."""
+def render_json(violations: Sequence[Violation], baselined: int = 0) -> str:
+    """Machine-readable report: findings plus per-rule and severity counts."""
+    errors, warnings = _severity_counts(violations)
     payload = {
-        "violations": [
-            {
-                "rule": v.rule,
-                "path": v.path,
-                "line": v.line,
-                "col": v.col,
-                "message": v.message,
-            }
-            for v in violations
-        ],
+        "violations": [v.to_dict() for v in violations],
         "counts": dict(sorted(Counter(v.rule for v in violations).items())),
         "total": len(violations),
+        "errors": errors,
+        "warnings": warnings,
+        "baselined": baselined,
     }
     return json.dumps(payload, indent=2) + "\n"
 
 
-def write_report(violations: Sequence[Violation], stream: IO[str], fmt: str = "text") -> None:
+def render_sarif(violations: Sequence[Violation], baselined: int = 0) -> str:
+    """SARIF 2.1.0 report (the format CI code-scanning uploads consume)."""
+    rule_meta = [
+        {
+            "id": rule.name,
+            "shortDescription": {"text": rule.description or rule.name},
+            "defaultConfiguration": {"level": _SARIF_LEVELS.get(rule.severity, "error")},
+        }
+        for rule in list(all_rules()) + list(all_project_rules())
+    ]
+    results = [
+        {
+            "ruleId": v.rule,
+            "level": _SARIF_LEVELS.get(v.severity, "error"),
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path},
+                        "region": {"startLine": v.line, "startColumn": v.col},
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "https://example.invalid/docs/ANALYSIS.md",
+                        "rules": sorted(rule_meta, key=lambda r: r["id"]),
+                    }
+                },
+                "results": results,
+                "properties": {"baselined": baselined},
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def write_report(
+    violations: Sequence[Violation],
+    stream: IO[str],
+    fmt: str = "text",
+    baselined: int = 0,
+) -> None:
     """Render ``violations`` to ``stream`` in the requested format."""
     if fmt == "json":
-        stream.write(render_json(violations))
+        stream.write(render_json(violations, baselined))
+    elif fmt == "sarif":
+        stream.write(render_sarif(violations, baselined))
     elif fmt == "text":
-        stream.write(render_text(violations))
+        stream.write(render_text(violations, baselined))
     else:
-        raise ValueError(f"unknown report format {fmt!r} (expected 'text' or 'json')")
+        raise ValueError(
+            f"unknown report format {fmt!r} (expected one of {', '.join(REPORT_FORMATS)})"
+        )

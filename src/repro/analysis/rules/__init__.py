@@ -1,3 +1,10 @@
 """Rule modules; importing this package registers every rule."""
 
-from . import autodiff_contracts, hygiene, numerics  # noqa: F401
+from . import (  # noqa: F401
+    autodiff_contracts,
+    contracts,
+    hygiene,
+    manifold_flow,
+    numerics,
+    perf,
+)

@@ -1,0 +1,390 @@
+"""Manifold-safety rules: flow-sensitive point/tangent tracking.
+
+A value produced by ``expmap*`` lives *on* the manifold (a point); one
+produced by ``logmap*`` lives in a tangent space.  Feeding a point back
+into ``expmap`` (or a tangent into ``logmap``) silently computes garbage —
+the operations are numerically defined for either input, so nothing
+crashes, the embedding just drifts.  Likewise combining a Lorentz-model
+result with a Poincaré-model result in one expression mixes coordinates of
+two different charts.
+
+The tracker is function-local and deliberately conservative: tags come
+only from direct manifold API calls and simple name assignments, ``if``
+branches are merged by intersection, and loop-assigned names are dropped.
+A name the tracker is unsure about carries no tag and is never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterable, Optional
+
+from ..registry import FileContext, Rule, Violation, register
+
+__all__ = ["ManifoldDoubleMap", "MixedManifoldOp", "RedundantClamp"]
+
+# kind: where the value lives.  family: which model's chart produced it.
+_EXP_PREFIXES = ("expmap",)
+_LOG_PREFIXES = ("logmap",)
+_PROJ_PREFIXES = ("proj",)
+
+_FAMILIES = ("lorentz", "poincare", "klein", "euclidean")
+
+# Receiver identifiers that betray the family of a manifold API object.
+_FAMILY_MARKERS = {
+    "lorentz": "lorentz",
+    "hyperboloid": "lorentz",
+    "minkowski": "lorentz",
+    "poincare": "poincare",
+    "ball": "poincare",
+    "klein": "klein",
+}
+
+_CLAMP_FUNCS = frozenset({"clip", "clamp", "minimum", "maximum"})
+
+
+class Tag:
+    """What the tracker knows about one value."""
+
+    __slots__ = ("kind", "family")
+
+    def __init__(self, kind: Optional[str] = None, family: Optional[str] = None):
+        self.kind = kind  # "point" | "tangent" | None
+        self.family = family  # one of _FAMILIES | None
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Tag)
+            and self.kind == other.kind
+            and self.family == other.family
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tag(kind={self.kind!r}, family={self.family!r})"
+
+
+def _identifier_chain(node: ast.AST) -> list[str]:
+    """Lower-cased identifiers of an attribute/name chain (``a.b.c``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr.lower())
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id.lower())
+    elif isinstance(node, ast.Call):
+        parts.extend(_identifier_chain(node.func))
+    return parts
+
+
+def _family_of_chain(parts: list[str]) -> Optional[str]:
+    for part in parts:
+        for marker, family in _FAMILY_MARKERS.items():
+            if marker in part:
+                return family
+    return None
+
+
+def _manifold_call_kind(node: ast.Call) -> Optional[tuple[str, Optional[str], str]]:
+    """(result kind, family, api name) for a manifold API call, else None."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        api = func.attr
+        chain = _identifier_chain(func.value)
+    elif isinstance(func, ast.Name):
+        api = func.id
+        chain = []
+    else:
+        return None
+    lowered = api.lower()
+    family = _family_of_chain(chain) or _family_of_chain([lowered])
+    if lowered.startswith(_EXP_PREFIXES):
+        return "point", family, api
+    if lowered.startswith(_LOG_PREFIXES):
+        return "tangent", family, api
+    if lowered.startswith(_PROJ_PREFIXES) and ("tan" in lowered or "tangent" in lowered):
+        return "tangent", family, api
+    if lowered.startswith(_PROJ_PREFIXES):
+        return "point", family, api
+    return None
+
+
+def _primary_argument(node: ast.Call) -> Optional[ast.AST]:
+    """The manifold-valued argument of an API call.
+
+    ``expmap(v)``/``logmap(p)`` take it first; the two-argument forms
+    ``expmap(p, v)``/``logmap(p, q)`` carry the *moving* value second.
+    Zero-anchored ``expmap0``/``logmap0`` always use the first argument.
+    """
+    if not node.args:
+        return None
+    name = node.func.attr if isinstance(node.func, ast.Attribute) else (
+        node.func.id if isinstance(node.func, ast.Name) else ""
+    )
+    if name.lower().rstrip("0123456789_np").endswith(("expmap", "logmap")) and len(node.args) >= 2:
+        if not name.lower().startswith(("expmap0", "logmap0")):
+            return node.args[1]
+    return node.args[0]
+
+
+class _FlowTracker:
+    """Per-function forward pass assigning :class:`Tag`s to local names."""
+
+    def __init__(self) -> None:
+        self.tags: dict[str, Tag] = {}
+
+    # -- expression tagging -------------------------------------------
+    def tag_of(self, node: ast.AST) -> Tag:
+        if isinstance(node, ast.Name):
+            return self.tags.get(node.id, Tag())
+        if isinstance(node, ast.Call):
+            info = _manifold_call_kind(node)
+            if info is not None:
+                kind, family, _ = info
+                if family is None:
+                    arg = _primary_argument(node)
+                    if arg is not None:
+                        family = self.tag_of(arg).family
+                return Tag(kind, family)
+            return Tag()
+        # Tags do NOT propagate through arithmetic: ``p - q`` of two points
+        # is a legitimate chord computation we cannot classify.
+        return Tag()
+
+    # -- statement walk -----------------------------------------------
+    def process_assign(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.tags[target.id] = self.tag_of(value)
+
+    def merge_branches(self, before: dict[str, Tag], branches: list[dict[str, Tag]]) -> None:
+        """Keep only tags every branch agrees on (intersection merge)."""
+        merged: dict[str, Tag] = {}
+        names = set(before)
+        for branch in branches:
+            names |= set(branch)
+        for name in names:
+            candidates = [branch.get(name, before.get(name)) for branch in branches]
+            first = candidates[0]
+            if first is not None and all(c == first for c in candidates[1:]):
+                merged[name] = first
+        self.tags = merged
+
+    def drop_loop_targets(self, node: ast.AST) -> None:
+        """Loop-carried names are unknowable to a single forward pass."""
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                for target in targets:
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name):
+                            self.tags.pop(name_node.id, None)
+            elif isinstance(sub, ast.For):
+                for name_node in ast.walk(sub.target):
+                    if isinstance(name_node, ast.Name):
+                        self.tags.pop(name_node.id, None)
+
+
+def _in_manifold_scope(path: PurePosixPath) -> bool:
+    parts = set(path.parts)
+    return bool(parts & {"manifolds", "models", "taxonomy", "optim"})
+
+
+class _FlowRule(Rule):
+    """Shared walk: run the tracker over every function, emit per-call."""
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        return _in_manifold_scope(path)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                tracker = _FlowTracker()
+                self._walk_body(ctx, tracker, node.body, out)
+        return out
+
+    def _walk_body(self, ctx, tracker: _FlowTracker, body: list, out: list) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested scopes get their own tracker
+            if isinstance(stmt, (ast.For, ast.While)):
+                tracker.drop_loop_targets(stmt)
+                self._visit_exprs(ctx, tracker, stmt, out, shallow=True)
+                continue
+            if isinstance(stmt, ast.If):
+                self._visit_node(ctx, tracker, stmt.test, out)
+                before = dict(tracker.tags)
+                branch_tags: list[dict[str, Tag]] = []
+                for branch in (stmt.body, stmt.orelse):
+                    tracker.tags = dict(before)
+                    self._walk_body(ctx, tracker, branch, out)
+                    branch_tags.append(tracker.tags)
+                tracker.merge_branches(before, branch_tags)
+                continue
+            if isinstance(stmt, ast.Assign):
+                self._visit_node(ctx, tracker, stmt.value, out)
+                for target in stmt.targets:
+                    tracker.process_assign(target, stmt.value)
+                continue
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._visit_node(ctx, tracker, stmt.value, out)
+                tracker.process_assign(stmt.target, stmt.value)
+                continue
+            self._visit_exprs(ctx, tracker, stmt, out, shallow=False)
+
+    def _visit_exprs(self, ctx, tracker, stmt, out, shallow: bool) -> None:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            self._visit_node(ctx, tracker, node, out, walk=False)
+
+    def _visit_node(self, ctx, tracker, node, out, walk: bool = True) -> None:
+        nodes = ast.walk(node) if walk else [node]
+        for sub in nodes:
+            self.visit(ctx, tracker, sub, out)
+
+    def visit(self, ctx, tracker: _FlowTracker, node: ast.AST, out: list) -> None:
+        raise NotImplementedError
+
+
+@register
+class ManifoldDoubleMap(_FlowRule):
+    """``expmap(expmap(...))`` / ``logmap(logmap(...))`` chains.
+
+    A point goes through ``logmap`` to become a tangent and through
+    ``expmap`` to come back; applying the same map twice means one chart
+    transition was skipped or duplicated.  The argument's tag must be
+    *known* for the rule to fire — untracked values pass silently.
+    """
+
+    name = "manifold-double-map"
+    description = (
+        "expmap applied to a value already on the manifold, or logmap applied "
+        "to a tangent vector (one chart transition skipped or duplicated)"
+    )
+
+    def visit(self, ctx, tracker, node, out) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        info = _manifold_call_kind(node)
+        if info is None:
+            return
+        kind, _, api = info
+        if api.lower().startswith(_PROJ_PREFIXES):
+            return  # projection is idempotent by design
+        arg = _primary_argument(node)
+        if arg is None:
+            return
+        arg_tag = tracker.tag_of(arg)
+        if kind == "point" and arg_tag.kind == "point":
+            out.append(
+                ctx.violation(
+                    self,
+                    node,
+                    f"{api}() applied to a value that is already a manifold "
+                    "point; expmap expects a tangent vector",
+                )
+            )
+        elif kind == "tangent" and arg_tag.kind == "tangent":
+            out.append(
+                ctx.violation(
+                    self,
+                    node,
+                    f"{api}() applied to a tangent vector; logmap expects a "
+                    "point on the manifold",
+                )
+            )
+
+
+@register
+class MixedManifoldOp(_FlowRule):
+    """Lorentz and Poincaré coordinates combined in one expression.
+
+    The models are isometric but their coordinates are not interchangeable;
+    adding a hyperboloid point to a ball point is chart soup.  Fires only
+    when *both* operands carry a known, conflicting family tag.
+    """
+
+    name = "mixed-manifold-op"
+    description = (
+        "arithmetic combining values from different manifold models "
+        "(e.g. a Lorentz expmap result with a Poincaré one) without an "
+        "explicit model-to-model conversion"
+    )
+
+    def visit(self, ctx, tracker, node, out) -> None:
+        if not isinstance(node, ast.BinOp):
+            return
+        left = tracker.tag_of(node.left)
+        right = tracker.tag_of(node.right)
+        if (
+            left.family is not None
+            and right.family is not None
+            and left.family != right.family
+        ):
+            out.append(
+                ctx.violation(
+                    self,
+                    node,
+                    f"operands live in different manifold models "
+                    f"({left.family} vs {right.family}); convert through a "
+                    "shared chart before combining them",
+                )
+            )
+
+
+def _clamp_call_info(node: ast.Call) -> Optional[str]:
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    return name if name in _CLAMP_FUNCS else None
+
+
+@register
+class RedundantClamp(Rule):
+    """Clamping the output of an operation that is already clamped.
+
+    ``clip(clip(x, ...), ...)`` (and ``clamp``/``minimum``/``maximum``
+    nests with identical bounds semantics) usually means two call sites
+    each added a guard defensively; the inner one wins and the outer one
+    hides intent.  Only *directly nested* calls are flagged — a clamp of a
+    name that was clamped earlier may be deliberate re-entry protection.
+    """
+
+    name = "redundant-clamp"
+    description = (
+        "clip/clamp applied directly to the result of another clip/clamp; "
+        "the outer guard is dead or the bounds disagree silently"
+    )
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        return _in_manifold_scope(path)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            outer = _clamp_call_info(node)
+            if outer is None:
+                continue
+            receiver: list[ast.AST] = list(node.args)
+            if isinstance(node.func, ast.Attribute):
+                receiver.append(node.func.value)
+            for arg in receiver:
+                if isinstance(arg, ast.Call):
+                    inner = _clamp_call_info(arg)
+                    if inner is not None and self._same_direction(outer, inner):
+                        yield ctx.violation(
+                            self,
+                            node,
+                            f"{outer}() applied directly to a {inner}() result; "
+                            "one of the two guards is redundant",
+                        )
+
+    @staticmethod
+    def _same_direction(outer: str, inner: str) -> bool:
+        """min-of-max (a floor then a ceiling) is a legitimate range clamp."""
+        if {outer, inner} == {"minimum", "maximum"}:
+            return False
+        return True

@@ -187,6 +187,12 @@ class MagicEpsilon(Rule):
     )
 
     def applies_to(self, path: PurePosixPath) -> bool:
+        # Test tolerances and script knobs are assertion precision choices,
+        # not hidden numerical guards; only library code is held to this.
+        # Fixture trees stay lintable: they are the rules' own test data.
+        parts = set(path.parts)
+        if ({"tests", "scripts"} & parts) and "fixtures" not in parts:
+            return False
         return path.parts[-2:] != _CONSTANTS_FILE
 
     def check(self, ctx: FileContext) -> Iterable[Violation]:

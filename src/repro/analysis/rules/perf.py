@@ -1,0 +1,234 @@
+"""Hot-path performance lints (``warn`` severity — advisory, never gating).
+
+The evaluation and serving paths dominate wall-clock time in this repo
+(PR 2 measured 30-80x between looped and vectorized variants), so two
+patterns are worth flagging there:
+
+* a Python ``for`` loop iterating over ndarray rows where a vectorized
+  formulation exists, and
+* rebuilding an adjacency/normalisation structure inside a loop whose
+  iterations cannot change it.
+
+Both rules are scoped to the hot-path modules (``eval/``, ``serve/``,
+``models/graph.py``) and exempt ``*_reference*`` functions — the looped
+reference twins are *deliberately* scalar, that is their whole point.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterable
+
+from ..registry import FileContext, Rule, Violation, register
+
+__all__ = ["NdarrayRowLoop", "LoopInvariantRebuild"]
+
+# Calls whose result is an ndarray (provenance markers for loop targets).
+_NP_PRODUCERS = frozenset(
+    {"array", "zeros", "ones", "empty", "arange", "asarray", "stack", "vstack", "concatenate"}
+)
+
+# Callee names that build adjacency / normalisation structures from scratch.
+_REBUILD_MARKERS = (
+    "adjacency",
+    "build_adj",
+    "normalize_adj",
+    "norm_adj",
+    "degree_matrix",
+    "csr_rows",
+    "to_csr",
+)
+
+
+def _in_hot_path(path: PurePosixPath) -> bool:
+    parts = set(path.parts)
+    if parts & {"eval", "serve"}:
+        return True
+    return path.parts[-2:] == ("models", "graph.py")
+
+
+def _is_reference_fn(name: str) -> bool:
+    return "_reference" in name
+
+
+def _call_tail(node: ast.AST) -> str:
+    """Last identifier of a call's callee chain ('' when not a call)."""
+    if not isinstance(node, ast.Call):
+        return ""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _np_rooted(node: ast.AST) -> bool:
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id in {"np", "numpy"}
+
+
+def _functions(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _own_nodes(scope: ast.AST):
+    """Nodes of one function body, not descending into nested functions."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _ndarray_names(fn: ast.AST) -> set[str]:
+    """Local names with visible ndarray provenance (np.* producers)."""
+    names: set[str] = set()
+    for node in _own_nodes(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            call = node.value
+            if _np_rooted(call.func) and _call_tail(call) in _NP_PRODUCERS:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+@register
+class NdarrayRowLoop(Rule):
+    """Python-level iteration over ndarray rows in a hot-path module.
+
+    Flags ``for i in range(len(a))`` / ``for i in range(a.shape[0])`` and
+    ``for row in a`` where ``a`` has visible numpy provenance, inside
+    ``eval/``, ``serve/`` or ``models/graph.py``.  Batched 3-argument
+    ``range(0, n, step)`` loops are *not* flagged — chunked iteration is the
+    vectorized idiom, not a scalar loop.
+    """
+
+    name = "ndarray-row-loop"
+    description = (
+        "Python for-loop over ndarray rows in a hot-path module; vectorize "
+        "or batch the operation (PR 2 measured 30-80x here)"
+    )
+    severity = "warn"
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        return _in_hot_path(path)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for fn in _functions(ctx.tree):
+            if _is_reference_fn(fn.name):
+                continue
+            array_names = _ndarray_names(fn)
+            for node in _own_nodes(fn):
+                if not isinstance(node, ast.For):
+                    continue
+                reason = self._loop_reason(node.iter, array_names)
+                if reason:
+                    yield ctx.violation(
+                        self,
+                        node,
+                        f"{reason} in {fn.name}(); vectorize the body or batch "
+                        "the rows instead of a Python-level loop",
+                    )
+
+    def _loop_reason(self, iter_node: ast.AST, array_names: set[str]) -> str:
+        if isinstance(iter_node, ast.Call) and _call_tail(iter_node) == "range":
+            if len(iter_node.args) != 1:
+                return ""  # batched range(0, n, step): the fast idiom
+            arg = iter_node.args[0]
+            if isinstance(arg, ast.Call) and _call_tail(arg) == "len":
+                inner = arg.args[0] if arg.args else None
+                if isinstance(inner, ast.Name) and inner.id in array_names:
+                    return f"loop over range(len({inner.id}))"
+            if (
+                isinstance(arg, ast.Subscript)
+                and isinstance(arg.value, ast.Attribute)
+                and arg.value.attr == "shape"
+            ):
+                root = arg.value.value
+                if isinstance(root, ast.Name) and root.id in array_names:
+                    return f"loop over range({root.id}.shape[...])"
+        elif isinstance(iter_node, ast.Name) and iter_node.id in array_names:
+            return f"row-wise iteration over ndarray {iter_node.id!r}"
+        return ""
+
+
+@register
+class LoopInvariantRebuild(Rule):
+    """Adjacency/normalisation structures rebuilt inside a loop.
+
+    A call whose name marks it as an adjacency or normalisation *builder*
+    (``*adjacency*``, ``normalize_adj``, ``to_csr`` …) placed inside a
+    ``for``/``while`` body, with no loop variable among its arguments, does
+    identical work every iteration.  Hoist it (or cache it the way
+    ``LightGCNPropagation.__init__`` pins its CSR rows).
+    """
+
+    name = "loop-invariant-rebuild"
+    description = (
+        "adjacency/normalisation builder called inside a loop with "
+        "loop-invariant arguments; hoist it out or cache the result"
+    )
+    severity = "warn"
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        return _in_hot_path(path)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for fn in _functions(ctx.tree):
+            if _is_reference_fn(fn.name):
+                continue
+            for loop in _own_nodes(fn):
+                if not isinstance(loop, (ast.For, ast.While)):
+                    continue
+                loop_names = self._loop_bound_names(loop)
+                for node in ast.walk(loop):
+                    if node is loop or not isinstance(node, ast.Call):
+                        continue
+                    tail = _call_tail(node).lower()
+                    if not any(marker in tail for marker in _REBUILD_MARKERS):
+                        continue
+                    if self._uses_names(node, loop_names):
+                        continue  # argument varies per iteration: not invariant
+                    yield ctx.violation(
+                        self,
+                        node,
+                        f"{_call_tail(node)}() rebuilt every iteration of the "
+                        f"loop at line {loop.lineno}; its arguments are "
+                        "loop-invariant — hoist or cache it",
+                    )
+
+    @staticmethod
+    def _loop_bound_names(loop: ast.AST) -> set[str]:
+        """Names (re)bound anywhere in the loop, including its target."""
+        names: set[str] = set()
+        if isinstance(loop, ast.For):
+            for node in ast.walk(loop.target):
+                if isinstance(node, ast.Name):
+                    names.add(node.id)
+        for sub in ast.walk(loop):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    for node in ast.walk(target):
+                        if isinstance(node, ast.Name):
+                            names.add(node.id)
+            elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+                for node in ast.walk(sub.target):
+                    if isinstance(node, ast.Name):
+                        names.add(node.id)
+        return names
+
+    @staticmethod
+    def _uses_names(call: ast.Call, names: set[str]) -> bool:
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Name) and node.id in names:
+                    return True
+        return False

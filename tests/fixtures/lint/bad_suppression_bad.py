@@ -1,0 +1,5 @@
+"""Deliberately violating fixture: suppressions naming unknown rules."""
+
+# repro-lint: disable=unknown-rule
+
+x = 1  # repro-lint: disable=not-a-rule

@@ -1,0 +1,5 @@
+"""Clean twin: every suppression names a real rule (and masks a finding)."""
+
+# repro-lint: disable=print-call
+
+print("suppressed by the file-level comment above")

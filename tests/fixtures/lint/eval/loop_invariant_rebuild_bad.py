@@ -1,0 +1,15 @@
+"""Deliberately violating fixture: adjacency rebuilt every iteration."""
+
+import numpy as np
+
+
+def build_adjacency(edges, n):
+    return np.zeros((n, n))
+
+
+def propagate(edges, x, n_layers):
+    out = x
+    for _ in range(n_layers):
+        adj = build_adjacency(edges, 8)  # identical work every iteration
+        out = adj @ out
+    return out

@@ -1,0 +1,22 @@
+"""Clean twin: the builder is hoisted, or its arguments vary per iteration."""
+
+import numpy as np
+
+
+def build_adjacency(edges, n):
+    return np.zeros((n, n))
+
+
+def propagate(edges, x, n_layers):
+    adj = build_adjacency(edges, 8)  # hoisted out of the loop
+    out = x
+    for _ in range(n_layers):
+        out = adj @ out
+    return out
+
+
+def per_graph(edges_list):
+    outs = []
+    for edges in edges_list:
+        outs.append(build_adjacency(edges, 8))  # argument varies: fine
+    return outs

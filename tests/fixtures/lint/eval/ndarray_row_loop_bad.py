@@ -1,0 +1,21 @@
+"""Deliberately violating fixture: Python loops over ndarray rows."""
+
+import numpy as np
+
+
+def score_all(n):
+    scores = np.zeros((n, 4))
+    total = 0.0
+    for i in range(len(scores)):  # scalar loop over rows
+        total += scores[i].sum()
+    for row in scores:  # row-wise iteration
+        total += row[0]
+    return total
+
+
+def shape_loop(n):
+    scores = np.ones((n, 3))
+    out = []
+    for i in range(scores.shape[0]):  # scalar loop over rows
+        out.append(scores[i])
+    return out

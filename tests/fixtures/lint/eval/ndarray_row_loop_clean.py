@@ -1,0 +1,25 @@
+"""Clean twin: vectorized reductions and batched (chunked) iteration."""
+
+import numpy as np
+
+
+def score_all(n):
+    scores = np.zeros((n, 4))
+    return scores.sum()
+
+
+def batched(n):
+    scores = np.ones((n, 3))
+    out = 0.0
+    for start in range(0, n, 64):  # chunked range is the fast idiom
+        out += scores[start : start + 64].sum()
+    return out
+
+
+def score_all_reference(n):
+    # Reference twins are deliberately scalar; the rule exempts them.
+    scores = np.zeros((n, 4))
+    total = 0.0
+    for i in range(len(scores)):
+        total += scores[i].sum()
+    return total

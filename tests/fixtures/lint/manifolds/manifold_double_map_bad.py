@@ -1,0 +1,13 @@
+"""Deliberately violating fixture: expmap/logmap applied twice in a row."""
+
+
+def double_exp(ball, v):
+    p = ball.expmap0(v)
+    q = ball.expmap0(p)  # expmap of a value already on the manifold
+    return q
+
+
+def double_log(ball, p):
+    u = ball.logmap0(p)
+    w = ball.logmap0(u)  # logmap of a tangent vector
+    return w

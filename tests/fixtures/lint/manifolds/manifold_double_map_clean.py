@@ -1,0 +1,22 @@
+"""Clean twin: every chart transition alternates expmap and logmap."""
+
+
+def roundtrip(ball, v):
+    p = ball.expmap0(v)
+    u = ball.logmap0(p)
+    return ball.expmap0(u)
+
+
+def branch_merge(ball, v, flip):
+    if flip:
+        p = ball.expmap0(v)
+    else:
+        p = ball.proj(v)
+    # Both branches leave p as a point; logmap of a point is fine.
+    return ball.logmap0(p)
+
+
+def loop_carried(ball, z, n):
+    for _ in range(n):
+        z = ball.logmap0(z)  # loop-carried names carry no tag: not flagged
+    return z

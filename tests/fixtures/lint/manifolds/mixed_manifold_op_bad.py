@@ -1,0 +1,7 @@
+"""Deliberately violating fixture: Lorentz and Poincare charts combined."""
+
+
+def chart_soup(lorentz, ball, v):
+    p = lorentz.expmap0(v)
+    q = ball.expmap0(v)
+    return p + q  # hyperboloid coordinates added to ball coordinates

@@ -1,0 +1,12 @@
+"""Clean twin: values stay in one chart, or a tag is unknown."""
+
+
+def same_chart(lorentz, v, w):
+    p = lorentz.expmap0(v)
+    q = lorentz.expmap0(w)
+    return p + q
+
+
+def untagged_operand(ball, v, offset):
+    p = ball.expmap0(v)
+    return p + offset  # offset carries no tag: never flagged

@@ -1,0 +1,11 @@
+"""Deliberately violating fixture: clamps stacked directly on clamps."""
+
+import numpy as np
+
+
+def overclip(x, lo, hi):
+    return np.clip(np.clip(x, lo, hi), lo, hi)  # outer clip is dead
+
+
+def double_clamp(x):
+    return x.clamp(-1.0, 1.0).clamp(-1.0, 1.0)  # second clamp is dead

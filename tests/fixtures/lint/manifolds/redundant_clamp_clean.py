@@ -1,0 +1,12 @@
+"""Clean twin: a floor composed with a ceiling is a range clamp, not waste."""
+
+import numpy as np
+
+
+def range_clamp(x, lo, hi):
+    return np.minimum(np.maximum(x, lo), hi)
+
+
+def single_clip(x, lo, hi):
+    y = np.clip(x, lo, hi)
+    return y

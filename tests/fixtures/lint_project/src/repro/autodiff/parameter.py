@@ -1,0 +1,21 @@
+"""PR 3-era snapshot of the parameter container: state_dict walks
+``Parameter`` and ``Module`` attributes but NOT list/tuple containers —
+the exact code state in which list-held parameters silently vanished
+from checkpoints."""
+
+
+class Parameter:
+    def __init__(self, data):
+        self.data = data
+
+
+class Module:
+    def state_dict(self):
+        out = {}
+        for name, value in vars(self).items():
+            if isinstance(value, Parameter):
+                out[name] = value.data
+            elif isinstance(value, Module):
+                for key, sub in value.state_dict().items():
+                    out[f"{name}.{key}"] = sub
+        return out

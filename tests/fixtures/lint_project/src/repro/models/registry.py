@@ -1,0 +1,15 @@
+"""Model registry of the fixture project."""
+
+from .models import BadIdModel, GoodModel, ListParamModel, NoFrozenModel
+
+
+def _good() -> GoodModel:
+    return GoodModel(4)
+
+
+MODEL_REGISTRY = {
+    "good": _good,
+    "bad-id": BadIdModel,
+    "no-frozen": NoFrozenModel,
+    "list-params": ListParamModel,
+}

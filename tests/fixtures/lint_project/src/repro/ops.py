@@ -1,0 +1,35 @@
+"""Fixture vectorized/reference function pairs in every health state."""
+
+
+def scale_rows(m, f):
+    return [[v * fi for fi in f] for row in m for v in row]
+
+
+def scale_rows_reference(m, f):
+    out = []
+    for row in m:
+        out.append([v * fi for v, fi in zip(row, f)])
+    return out
+
+
+def blend(a, weight, b):
+    return [weight * x + (1.0 - weight) * y for x, y in zip(a, b)]
+
+
+def blend_reference(a, b, weight):
+    # Parameter order diverged from the fast twin: (a, weight, b) vs (a, b, weight).
+    return [weight * x + (1.0 - weight) * y for x, y in zip(a, b)]
+
+
+def orphan_reference(x):
+    # No fast twin exists anywhere in this scope.
+    return [v * 2.0 for v in x]
+
+
+def shift(x, d):
+    return [v + d for v in x]
+
+
+def shift_reference(x, d):
+    # Twin exists and matches, but the differential suite never names it.
+    return [v + d for v in x]

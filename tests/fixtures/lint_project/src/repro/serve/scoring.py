@@ -1,0 +1,17 @@
+"""Score-fn registry of the fixture project: only ``dot`` exists."""
+
+SCORE_FNS = {}
+
+
+def _register(name, arrays):
+    def deco(fn):
+        SCORE_FNS[name] = (fn, arrays)
+        return fn
+
+    return deco
+
+
+@_register("dot", ("user", "item"))
+def _dot(arrays, user_id):
+    user = arrays["user"][user_id]
+    return [sum(u * v for u, v in zip(user, item)) for item in arrays["item"]]

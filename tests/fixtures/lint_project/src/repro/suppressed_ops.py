@@ -1,0 +1,7 @@
+"""A dangling reference twin acknowledged by a file-level suppression."""
+
+# repro-lint: disable=reference-twin
+
+
+def lonely_reference(x):
+    return [v for v in x]

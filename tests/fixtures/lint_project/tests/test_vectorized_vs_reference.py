@@ -1,0 +1,19 @@
+"""Differential suite of the fixture project.
+
+Names the scale-rows and blend reference twins; the shift twin is
+deliberately absent and therefore reported as untested.
+"""
+
+from repro.ops import blend, blend_reference, scale_rows, scale_rows_reference
+
+
+def test_scale_rows_matches_reference():
+    m = [[1.0, 2.0], [3.0, 4.0]]
+    f = [0.5, 2.0]
+    assert scale_rows(m, f) is not None
+    assert scale_rows_reference(m, f) is not None
+
+
+def test_blend_matches_reference():
+    a, b = [1.0, 0.0], [0.0, 1.0]
+    assert blend(a, 0.25, b) == blend_reference(a, b, 0.25)

@@ -1,0 +1,156 @@
+"""Incremental cache and baseline tests.
+
+The cache is keyed by content hashes (per file, plus a combined key for
+the project pass) and by the ruleset signature, so a warm re-run of an
+unchanged tree does no parsing or rule dispatch at all — the test asserts
+the resulting >= 5x wall-clock speedup.  The baseline grandfathers
+existing findings by a line-number-independent fingerprint.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis import (
+    Baseline,
+    Violation,
+    analyze_paths,
+    fingerprint,
+    split_by_baseline,
+)
+
+REPO_ROOT = Path(__file__).parents[1]
+FIXTURE_PROJECT = REPO_ROOT / "tests" / "fixtures" / "lint_project"
+
+BAD_SOURCE = "A = 1e-12\nB = 1e-12\n"
+
+
+def _copy_fixture_project(tmp_path):
+    root = tmp_path / "proj"
+    for path in FIXTURE_PROJECT.rglob("*.py"):
+        dest = root / path.relative_to(FIXTURE_PROJECT)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text(path.read_text(encoding="utf-8"), encoding="utf-8")
+    return root
+
+
+class TestCacheCorrectness:
+    def test_warm_run_returns_identical_findings(self, tmp_path):
+        root = _copy_fixture_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = analyze_paths([root], cache_path=cache)
+        warm = analyze_paths([root], cache_path=cache)
+        assert cold and warm == cold
+
+    def test_cache_file_is_written_with_signature_and_entries(self, tmp_path):
+        root = _copy_fixture_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        analyze_paths([root], cache_path=cache)
+        payload = json.loads(cache.read_text())
+        assert payload["signature"]
+        assert payload["files"] and payload["project"]["violations"]
+
+    def test_edited_file_is_reanalysed(self, tmp_path):
+        root = _copy_fixture_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        analyze_paths([root], cache_path=cache)
+        target = root / "src" / "repro" / "ops.py"
+        # Repair the diverged twin: reorder the reference's parameters.
+        source = target.read_text(encoding="utf-8").replace(
+            "def blend_reference(a, b, weight):", "def blend_reference(a, weight, b):"
+        )
+        target.write_text(source, encoding="utf-8")
+        warm = analyze_paths([root], cache_path=cache)
+        assert all("diverged" not in v.message for v in warm)
+
+    def test_new_file_invalidates_project_pass_only(self, tmp_path):
+        root = _copy_fixture_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        before = analyze_paths([root], cache_path=cache)
+        (root / "src" / "repro" / "extra.py").write_text("def lone_reference(x):\n    return x\n")
+        after = analyze_paths([root], cache_path=cache)
+        assert len(after) == len(before) + 1
+        assert any("lone_reference" in v.message for v in after)
+
+    def test_different_ruleset_does_not_reuse_stale_entries(self, tmp_path):
+        root = _copy_fixture_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        narrowed = analyze_paths([root], select=["untracked-parameter"], cache_path=cache)
+        assert {v.rule for v in narrowed} == {"untracked-parameter"}
+        full = analyze_paths([root], cache_path=cache)
+        assert {v.rule for v in full} > {"untracked-parameter"}
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        root = _copy_fixture_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{ not json")
+        findings = analyze_paths([root], cache_path=cache)
+        assert findings  # analysis proceeds as if cold
+
+
+class TestCacheSpeed:
+    def test_warm_run_is_at_least_5x_faster_than_cold(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        tree = [REPO_ROOT / "src"]
+        t0 = time.perf_counter()
+        cold = analyze_paths(tree, cache_path=cache)
+        cold_s = time.perf_counter() - t0
+        warm_s = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            warm = analyze_paths(tree, cache_path=cache)
+            warm_s.append(time.perf_counter() - t0)
+        assert warm == cold
+        best_warm = min(warm_s)
+        assert best_warm * 5 <= cold_s, (
+            f"warm {best_warm:.4f}s vs cold {cold_s:.4f}s — cache is not "
+            "skipping parse/rule dispatch"
+        )
+
+
+class TestBaseline:
+    def _violations(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SOURCE)
+        return analyze_paths([bad]), bad
+
+    def test_round_trip_grandfathers_everything(self, tmp_path):
+        violations, _ = self._violations(tmp_path)
+        path = tmp_path / "baseline.json"
+        Baseline().write(path, violations)
+        baseline = Baseline.load(path)
+        new, grandfathered = split_by_baseline(violations, baseline)
+        assert new == [] and len(grandfathered) == len(violations)
+
+    def test_new_finding_is_not_masked(self, tmp_path):
+        violations, bad = self._violations(tmp_path)
+        path = tmp_path / "baseline.json"
+        Baseline().write(path, violations)
+        bad.write_text(BAD_SOURCE + "C = 1e-13\n")
+        updated = analyze_paths([bad])
+        new, grandfathered = split_by_baseline(updated, Baseline.load(path))
+        assert len(grandfathered) == 2
+        assert [v.line for v in new] == [3]
+
+    def test_fingerprint_survives_line_renumbering(self, tmp_path):
+        violations, bad = self._violations(tmp_path)
+        path = tmp_path / "baseline.json"
+        Baseline().write(path, violations)
+        # Push the same findings two lines down: fingerprints must hold.
+        bad.write_text("# header\n# comment\n" + BAD_SOURCE)
+        moved = analyze_paths([bad])
+        new, grandfathered = split_by_baseline(moved, Baseline.load(path))
+        assert new == [] and len(grandfathered) == 2
+
+    def test_repeated_identical_lines_fingerprint_by_occurrence(self):
+        a = Violation("r", "p.py", 1, 1, "m", snippet="x = 1e-12")
+        b = Violation("r", "p.py", 9, 1, "m", snippet="x = 1e-12")
+        assert fingerprint(a, 0) != fingerprint(b, 1)
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.entries == {}
+
+    def test_committed_repo_baseline_is_loadable_and_empty(self):
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        assert baseline.entries == {}

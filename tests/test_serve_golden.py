@@ -122,6 +122,6 @@ if __name__ == "__main__":
 
     if "--regenerate" in sys.argv:
         _regenerate()
-        print(f"regenerated {ARTIFACT} and {TOPK}")
+        print(f"regenerated {ARTIFACT} and {TOPK}")  # repro-lint: disable=print-call
     else:
-        print(__doc__)
+        print(__doc__)  # repro-lint: disable=print-call

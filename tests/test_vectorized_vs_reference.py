@@ -218,6 +218,30 @@ class TestGraphDifferential:
         np.testing.assert_allclose(fast[0].data, slow[0].data, atol=TOL)
         np.testing.assert_allclose(fast[1].data, slow[1].data, atol=TOL)
 
+    def test_propagate_mean_reference_gradients(self, graph):
+        grads = {}
+        for propagate in (graph.propagate_mean, graph.propagate_mean_reference):
+            u, v = self._embeddings(graph, seed=2)
+            out_u, out_v = propagate(u, v)
+            ((out_u * out_u).sum() + (out_v * out_v).sum()).backward()
+            grads[propagate.__name__] = (u.grad.copy(), v.grad.copy())
+        for fast_arr, slow_arr in zip(
+            grads["propagate_mean"], grads["propagate_mean_reference"]
+        ):
+            np.testing.assert_allclose(fast_arr, slow_arr, atol=TOL)
+
+    def test_propagate_sym_reference_gradients(self, graph):
+        grads = {}
+        for propagate in (graph.propagate_sym, graph.propagate_sym_reference):
+            u, v = self._embeddings(graph, seed=3)
+            out_u, out_v = propagate(u, v)
+            ((out_u * out_u).sum() + (out_v * out_v).sum()).backward()
+            grads[propagate.__name__] = (u.grad.copy(), v.grad.copy())
+        for fast_arr, slow_arr in zip(
+            grads["propagate_sym"], grads["propagate_sym_reference"]
+        ):
+            np.testing.assert_allclose(fast_arr, slow_arr, atol=TOL)
+
     @pytest.mark.parametrize("norm", ["sym", "mean"])
     def test_residual_gcn_values_and_gradients(self, graph, norm):
         grads = {}
