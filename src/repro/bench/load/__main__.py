@@ -1,0 +1,71 @@
+"""CLI entry for the serving load harness: sweep, print the grid, write JSON.
+
+``python -m repro.bench.load model.npz --workers 0,2 --concurrency 1,8``
+— the measurement machinery lives in the package ``__init__``; this
+module is only the terminal surface (argument handling and the result
+table).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from ..harness import validate_result, write_result
+from ...serve.errors import ServeError
+from . import build_parser, sweep, synthetic_bundle
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the sweep, print the grid, write the document."""
+    args = build_parser().parse_args(argv)
+    requests = 32 if args.quick else args.requests
+    concurrency_list = [c for c in args.concurrency if c <= requests]
+    artifact = args.artifact
+    tmp_dir = None
+    if args.synthetic is not None:
+        if artifact is not None:
+            print("pass either an artifact path or --synthetic, not both",
+                  file=sys.stderr)
+            return 2
+        if len(args.synthetic) != 3:
+            print("--synthetic wants USERS,ITEMS,DIM", file=sys.stderr)
+            return 2
+        import tempfile
+
+        tmp_dir = tempfile.TemporaryDirectory(prefix="repro-load-")
+        artifact = synthetic_bundle(*args.synthetic, out_dir=tmp_dir.name)
+    elif artifact is None:
+        print("an artifact path (or --synthetic) is required",
+              file=sys.stderr)
+        return 2
+    try:
+        result = sweep(
+            artifact,
+            workers_list=args.workers,
+            concurrency_list=concurrency_list,
+            requests=requests,
+            shards=args.shards if args.shards > 0 else None,
+            micro_batch=args.micro_batch,
+            cache_size=args.cache,
+            k=args.k,
+            quick=args.quick,
+        )
+    except ServeError as exc:
+        print(f"load sweep failed: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_result(result)
+    if problems:  # pragma: no cover - sweep() emits schema-valid documents
+        raise ValueError("invalid bench result: " + "; ".join(problems))
+    write_result(result, args.out)
+    print(f"{'cell':<22} {'qps':>9} {'p50_ms':>8} {'p99_ms':>8} {'errors':>7}")
+    for record in result["benchmarks"]:
+        work = record["workload"]
+        print(f"{record['name']:<22} {work['qps']:>9.1f} {work['p50_ms']:>8.2f} "
+              f"{work['p99_ms']:>8.2f} {work['errors']:>7d}")
+    print(f"wrote {Path(args.out).resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,21 @@ The serving spine is ``train → export → serve``:
 Served rankings are guaranteed identical to the offline evaluator's
 (same deterministic ``(-score, id)`` tiebreak, same exclude-seen
 masking) — see ``tests/test_serve_parity.py`` and ``docs/SERVE.md``.
+
+Scale-out layer (``docs/SERVE.md`` → *Scaling & load testing*):
+
+* :func:`export_shared` / :func:`load_shared` — mmap-able shared
+  bundles so a worker pool shares one physical copy of the arrays;
+  :func:`publish_artifact` flips a deployment symlink atomically;
+* :func:`shard_for_user` / :class:`ShardMap` — deterministic user-hash
+  sharding shared by router, workers and clients;
+* :class:`ShardedService` — in-process sharded facade (optionally
+  micro-batched via :class:`MicroBatcher`), bit-identical to a flat
+  :class:`RecommenderService`;
+* :class:`WorkerPool` + :func:`create_router` — forked shard workers
+  behind an HTTP router, with hot-swap watching;
+* ``python -m repro.bench.load`` — the closed-loop load harness that
+  sweeps workers × concurrency into a ``repro.bench/v1`` report.
 """
 
 from .artifact import (
@@ -26,16 +41,27 @@ from .artifact import (
     load_artifact,
     validate_model_artifact,
 )
+from .batching import MicroBatcher
 from .errors import (
     ArtifactError,
     BadRequestError,
     SchemaMismatchError,
     ServeError,
+    ShardRoutingError,
     UnknownScoreFnError,
 )
-from .http import ServiceHTTPServer, create_server
+from .http import ServiceHTTPServer, create_server, serve_until_drained
+from .pool import ArtifactWatcher, WorkerPool
+from .router import RouterHTTPServer, ShardedService, create_router
 from .scoring import SCORE_FNS, FrozenScorer
 from .service import RecommenderService
+from .shared import (
+    artifact_fingerprint,
+    export_shared,
+    load_shared,
+    publish_artifact,
+)
+from .sharding import ShardMap, shard_for_user
 
 __all__ = [
     "MODEL_SCHEMA",
@@ -50,9 +76,23 @@ __all__ = [
     "SchemaMismatchError",
     "UnknownScoreFnError",
     "BadRequestError",
+    "ShardRoutingError",
     "SCORE_FNS",
     "FrozenScorer",
     "RecommenderService",
     "ServiceHTTPServer",
     "create_server",
+    "serve_until_drained",
+    "MicroBatcher",
+    "ShardedService",
+    "RouterHTTPServer",
+    "create_router",
+    "WorkerPool",
+    "ArtifactWatcher",
+    "ShardMap",
+    "shard_for_user",
+    "export_shared",
+    "load_shared",
+    "publish_artifact",
+    "artifact_fingerprint",
 ]

@@ -333,14 +333,21 @@ def export_from_checkpoint(source, out_path, *, best: bool = False) -> Path:
 
 
 def load_artifact(path) -> ModelArtifact:
-    """Read and validate one artifact file.
+    """Read and validate one artifact (``.npz`` file or shared bundle dir).
 
-    Raises the typed hierarchy from :mod:`repro.serve.errors`:
-    :class:`ArtifactError` for unreadable files, :class:`SchemaMismatchError`
-    for wrong/invalid schemas, :class:`UnknownScoreFnError` for score-fn
-    ids this build does not register.
+    A directory is loaded as an mmap-backed shared bundle
+    (:func:`repro.serve.shared.load_shared`); a file as the classic
+    ``.npz`` container.  Raises the typed hierarchy from
+    :mod:`repro.serve.errors`: :class:`ArtifactError` for unreadable
+    files, :class:`SchemaMismatchError` for wrong/invalid schemas,
+    :class:`UnknownScoreFnError` for score-fn ids this build does not
+    register.
     """
     path = Path(path)
+    if path.is_dir():
+        from .shared import load_shared
+
+        return load_shared(path)
     try:
         with np.load(path, allow_pickle=False) as npz:
             if "__meta__" not in npz.files:

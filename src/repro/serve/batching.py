@@ -1,0 +1,160 @@
+"""Request micro-batching: coalesce concurrent ``recommend`` calls.
+
+Under concurrent load, many handler threads ask for top-K at once; each
+would otherwise run its own one-row scoring pass.  The
+:class:`MicroBatcher` funnels them through a single drain loop that
+scores every request queued at that moment in **one** batched matmul
+(:meth:`RecommenderService.recommend_batch`), then hands each caller its
+row.
+
+Batches form *naturally*: the drain loop takes whatever accumulated
+while the previous batch was computing, so an idle service adds zero
+latency (a lone request is scored immediately) and a loaded service
+amortises one scoring pass over every queued request.  An optional
+``max_wait_s`` adds a bounded gathering window for workloads that prefer
+bigger batches over first-request latency.
+
+Correctness is absolute, not statistical: the frozen scorers are
+batch-size invariant (``scoring.py``) and ranking is per-row, so a
+coalesced response is **bit-identical** to the response the same request
+would get alone — ``tests/test_serve_batching.py`` hammers this with
+racing threads.  Validation runs synchronously in the caller's thread
+(:meth:`RecommenderService.check_request`), so one malformed request
+fails fast and can never poison a batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .errors import ServeError
+
+__all__ = ["MicroBatcher"]
+
+
+class _Slot:
+    """One waiting request: inputs, a wakeup event, and the outcome."""
+
+    __slots__ = ("user", "k", "exclude_seen", "event", "items", "scores", "error")
+
+    def __init__(self, user: int, k: int, exclude_seen: bool):
+        self.user = user
+        self.k = k
+        self.exclude_seen = exclude_seen
+        self.event = threading.Event()
+        self.items = None
+        self.scores = None
+        self.error: BaseException | None = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent ``recommend`` calls into batched scoring passes.
+
+    Parameters
+    ----------
+    service:
+        The :class:`RecommenderService` (possibly shard-restricted) that
+        executes the batches.
+    max_batch:
+        Upper bound on requests per scoring pass (back-pressure for the
+        ranking step's memory).
+    max_wait_s:
+        Optional gathering window after the first request of a batch
+        arrives.  ``0.0`` (default) batches only what is already queued —
+        no added latency at low concurrency.
+    """
+
+    def __init__(self, service, max_batch: int = 64, max_wait_s: float = 0.0):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self._cond = threading.Condition()
+        self._pending: list[_Slot] = []
+        self._closed = False
+        self._counts = {"requests": 0, "batches": 0, "coalesced": 0, "max_batch": 0}
+        self._thread = threading.Thread(
+            target=self._drain_loop, name="repro-serve-microbatch", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def recommend(self, user: int, k: int = 10, exclude_seen: bool = True):
+        """Blocking top-K request; response identical to ``service.recommend``."""
+        user, k, exclude_seen = self.service.check_request(user, k, exclude_seen)
+        slot = _Slot(user, k, exclude_seen)
+        with self._cond:
+            if self._closed:
+                raise ServeError("micro-batcher is closed")
+            self._pending.append(slot)
+            self._cond.notify_all()
+        slot.event.wait()
+        if slot.error is not None:
+            raise slot.error
+        return slot.items.copy(), slot.scores.copy()
+
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> list[_Slot]:
+        """Block until work exists (or close), then take up to ``max_batch``."""
+        with self._cond:
+            while not self._pending and not self._closed:
+                self._cond.wait()
+            if not self._pending:
+                return []
+            if self.max_wait_s > 0.0:
+                deadline = time.monotonic() + self.max_wait_s
+                while len(self._pending) < self.max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._closed:
+                        break
+                    self._cond.wait(remaining)
+            batch = self._pending[: self.max_batch]
+            del self._pending[: len(batch)]
+            return batch
+
+    def _drain_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                return
+            with self._cond:
+                self._counts["requests"] += len(batch)
+                self._counts["batches"] += 1
+                self._counts["coalesced"] += len(batch) - 1
+                self._counts["max_batch"] = max(self._counts["max_batch"], len(batch))
+            # One scoring pass per distinct (k, exclude_seen) in the batch;
+            # concurrent /recommend traffic overwhelmingly shares both.
+            groups: dict[tuple[int, bool], list[_Slot]] = {}
+            for slot in batch:
+                groups.setdefault((slot.k, slot.exclude_seen), []).append(slot)
+            for (k, exclude_seen), slots in groups.items():
+                try:
+                    items, scores = self.service.recommend_batch(
+                        [slot.user for slot in slots], k, exclude_seen
+                    )
+                    for row, slot in enumerate(slots):
+                        slot.items, slot.scores = items[row], scores[row]
+                except BaseException as exc:  # delivered to the waiting caller
+                    for slot in slots:
+                        slot.error = exc
+                finally:
+                    for slot in slots:
+                        slot.event.set()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Batch-formation counters (requests, batches, coalesced, max size)."""
+        with self._cond:
+            counts = dict(self._counts)
+        batches = counts["batches"]
+        counts["mean_batch"] = counts["requests"] / batches if batches else 0.0
+        return counts
+
+    def close(self) -> None:
+        """Stop the drain loop after flushing queued requests."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout=10)

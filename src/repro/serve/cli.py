@@ -3,17 +3,31 @@
 Usage:
     python -m repro export runs/taxorec --out models/taxorec.npz
     python -m repro export runs/taxorec/checkpoint_0009.npz --out m.npz --best
+    python -m repro export runs/taxorec --out models/taxorec --shared
     python -m repro serve models/taxorec.npz --port 8731 --index-k 100
+    python -m repro serve models/taxorec --workers 2 --shards 4 --micro-batch 32
+
+Single-process mode (``--workers 0``, the default) serves one
+:class:`RecommenderService` directly.  Pool mode forks ``--workers``
+shard-scoped worker processes (``repro.serve.pool``) behind a user-hash
+shard router (``repro.serve.router``); point it at a shared bundle
+directory (``--shared`` export) and the workers mmap one physical copy
+of the score arrays.
+
+``--max-requests N`` bounds either mode for smoke tests: the server
+counts *completed responses* and drains cleanly — the Nth reply is fully
+written before the process exits (see ``repro.serve.http``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .artifact import export_from_checkpoint, load_artifact
 from .errors import ServeError
-from .http import create_server
+from .http import create_server, serve_until_drained
 from .service import RecommenderService
 
 __all__ = ["export_main", "serve_main", "build_export_parser", "build_serve_parser"]
@@ -35,6 +49,9 @@ def build_export_parser() -> argparse.ArgumentParser:
                         help="artifact output path (default: model.npz)")
     parser.add_argument("--best", action="store_true",
                         help="export the best-validation snapshot instead of the final weights")
+    parser.add_argument("--shared", action="store_true",
+                        help="also explode the artifact into an mmap-able shared "
+                        "bundle directory (<out minus .npz>) for worker pools")
     return parser
 
 
@@ -45,7 +62,8 @@ def build_serve_parser() -> argparse.ArgumentParser:
         description="Serve top-K recommendations from a repro.model/v1 artifact "
         "over a JSON HTTP endpoint",
     )
-    parser.add_argument("artifact", help="path to a repro.model/v1 .npz artifact")
+    parser.add_argument("artifact",
+                        help="path to a repro.model/v1 .npz artifact or shared bundle directory")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8731, help="0 picks an ephemeral port")
     parser.add_argument("--cache-size", type=int, default=1024, metavar="N",
@@ -53,8 +71,19 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--index-k", type=int, default=0, metavar="K",
                         help="precompute a top-K index for all users at startup")
     parser.add_argument("--max-requests", type=int, default=0, metavar="N",
-                        help="exit after serving N requests (0 = serve forever); "
+                        help="exit after N completed responses (0 = serve forever); "
                         "used by smoke tests")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="fork N shard-scoped worker processes behind a router "
+                        "(0 = single-process serving, the default)")
+    parser.add_argument("--shards", type=int, default=0, metavar="M",
+                        help="shard the user space M ways (default: one per worker)")
+    parser.add_argument("--micro-batch", type=int, default=0, metavar="B",
+                        help="coalesce concurrent /recommend calls into batches of "
+                        "up to B per shard (0 disables)")
+    parser.add_argument("--hot-swap-poll", type=float, default=0.0, metavar="SECS",
+                        help="poll the artifact path every SECS seconds and hot-swap "
+                        "when its target changes (0 disables; workers only)")
     return parser
 
 
@@ -73,12 +102,20 @@ def export_main(argv: list[str]) -> int:
         f"trained on {dataset['name']} "
         f"({dataset['n_users']} users × {dataset['n_items']} items) → {out}"
     )
+    if args.shared:
+        from pathlib import Path
+
+        from .shared import export_shared
+
+        bundle = Path(str(out)[: -len(".npz")] if str(out).endswith(".npz") else f"{out}.bundle")
+        export_shared(artifact, bundle)
+        load_shared_check = load_artifact(bundle)  # same self-check as the .npz
+        print(f"shared bundle ({load_shared_check.model_name}, mmap-able) → {bundle}")
     return 0
 
 
-def serve_main(argv: list[str]) -> int:
-    """Entry point for the ``serve`` subcommand."""
-    args = build_serve_parser().parse_args(argv)
+def _serve_single(args) -> int:
+    """Single-process serving (the original ``repro serve`` shape)."""
     try:
         service = RecommenderService(
             args.artifact, cache_size=args.cache_size, index_k=args.index_k
@@ -86,12 +123,9 @@ def serve_main(argv: list[str]) -> int:
     except ServeError as exc:
         print(f"cannot serve {args.artifact}: {exc}", file=sys.stderr)
         return 2
-    server = create_server(service, host=args.host, port=args.port)
-    if args.max_requests > 0:
-        # Bounded mode exits right after the last accept; handler threads
-        # must be non-daemon so server_close() joins the in-flight reply
-        # (socketserver never tracks daemon threads for joining).
-        server.daemon_threads = False
+    server = create_server(
+        service, host=args.host, port=args.port, max_requests=args.max_requests
+    )
     host, port = server.server_address[:2]
     print(
         f"serving {service.artifact.model_name} (score_fn={service.artifact.score_fn}) "
@@ -99,9 +133,8 @@ def serve_main(argv: list[str]) -> int:
         flush=True,
     )
     try:
-        if args.max_requests > 0:
-            for _ in range(args.max_requests):
-                server.handle_request()
+        if server.bounded:
+            serve_until_drained(server)
         else:
             server.serve_forever()
     except KeyboardInterrupt:
@@ -109,3 +142,61 @@ def serve_main(argv: list[str]) -> int:
     finally:
         server.server_close()
     return 0
+
+
+def _serve_pool(args) -> int:
+    """Pool serving: forked shard workers behind a user-hash router."""
+    from .pool import WorkerPool
+
+    n_shards = args.shards if args.shards > 0 else args.workers
+    try:
+        pool = WorkerPool(
+            args.artifact,
+            n_workers=args.workers,
+            n_shards=n_shards,
+            micro_batch=args.micro_batch,
+            cache_size=args.cache_size,
+            index_k=args.index_k,
+            hot_swap_poll_s=args.hot_swap_poll,
+        )
+    except ServeError as exc:
+        print(f"cannot serve {args.artifact}: {exc}", file=sys.stderr)
+        return 2
+    with pool:
+        router = pool.create_router(
+            host=args.host, port=args.port, max_requests=args.max_requests
+        )
+        try:
+            _, health = router.forward(0, "GET", "/health")
+            health = json.loads(health.decode("utf-8"))
+            model = health.get("model", "?")
+            score_fn = health.get("score_fn", "?")
+        except ServeError:
+            model, score_fn = "?", "?"
+        host, port = router.server_address[:2]
+        print(
+            f"serving {model} (score_fn={score_fn}) on http://{host}:{port} "
+            f"[{pool.n_workers} workers × {pool.n_shards} shards]",
+            flush=True,
+        )
+        try:
+            if router.bounded:
+                serve_until_drained(router)
+            else:
+                router.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            router.server_close()
+    return 0
+
+
+def serve_main(argv: list[str]) -> int:
+    """Entry point for the ``serve`` subcommand."""
+    args = build_serve_parser().parse_args(argv)
+    if args.workers < 0:
+        print("--workers must be >= 0", file=sys.stderr)
+        return 2
+    if args.workers > 0:
+        return _serve_pool(args)
+    return _serve_single(args)

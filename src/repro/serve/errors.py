@@ -5,8 +5,8 @@ so callers (CLI, HTTP endpoint, tests) can branch on type instead of
 string-matching messages:
 
 * :class:`ServeError` — common base; never raised directly.
-* :class:`ArtifactError` — the ``.npz`` artifact is unreadable or
-  structurally broken (corrupted zip, missing metadata, bad JSON).
+* :class:`ArtifactError` — the artifact is unreadable or structurally
+  broken (corrupted zip, missing metadata, bad JSON).
 * :class:`SchemaMismatchError` — the artifact parses but declares a
   schema other than ``repro.model/v1`` or fails structural validation.
 * :class:`UnknownScoreFnError` — the artifact names a score function id
@@ -14,6 +14,21 @@ string-matching messages:
 * :class:`BadRequestError` — a well-formed service received a bad
   request: user/item id out of range, non-positive ``k``, malformed
   parameters.
+* :class:`ShardRoutingError` — a request reached a worker that does not
+  own the user's shard (misconfigured router or stale shard map).
+
+Each class carries the HTTP status the JSON endpoint maps it to
+(``http_status``), so the wire contract lives next to the type instead
+of in a lookup table inside the handler:
+
+=========================  ====
+``BadRequestError``        400
+``ShardRoutingError``      421
+``UnknownScoreFnError``    501
+``ArtifactError``          503
+``SchemaMismatchError``    503
+``ServeError`` (other)     500
+=========================  ====
 """
 
 from __future__ import annotations
@@ -24,24 +39,41 @@ __all__ = [
     "SchemaMismatchError",
     "UnknownScoreFnError",
     "BadRequestError",
+    "ShardRoutingError",
 ]
 
 
 class ServeError(Exception):
     """Base class for every serving-layer failure."""
 
+    http_status = 500
+
 
 class ArtifactError(ServeError):
     """The model artifact could not be read (corrupted or incomplete file)."""
+
+    http_status = 503
 
 
 class SchemaMismatchError(ArtifactError):
     """The artifact's schema tag or structure does not match ``repro.model/v1``."""
 
+    http_status = 503
+
 
 class UnknownScoreFnError(ArtifactError):
     """The artifact requires a score function this build does not provide."""
 
+    http_status = 501
+
 
 class BadRequestError(ServeError):
     """A serving request referenced ids or parameters outside the model's range."""
+
+    http_status = 400
+
+
+class ShardRoutingError(ServeError):
+    """A request was routed to a worker that does not own the user's shard."""
+
+    http_status = 421

@@ -207,5 +207,18 @@ class FrozenScorer:
         self.n_users, self.n_items = frozen_counts(score_fn, arrays)
 
     def score_users(self, users) -> np.ndarray:
-        """``(len(users), n_items)`` scores, larger = better recommendation."""
-        return SCORE_FNS[self.score_fn](self.arrays, np.asarray(users, dtype=np.int64))
+        """``(len(users), n_items)`` scores, larger = better recommendation.
+
+        A user's score row is **batch-size invariant**: scoring one user
+        alone returns the same bits as scoring them inside any batch.
+        BLAS dispatches a GEMV kernel for one-row batches whose reduction
+        order differs from GEMM in the last bits, so single-user calls
+        are padded to a two-row batch (duplicate row, first row kept) and
+        every scoring path — per-request, micro-batched, index build,
+        offline evaluator — runs the same GEMM kernel.  The micro-batch
+        hammer tests (``tests/test_serve_batching.py``) lock this.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        if len(users) == 1:
+            return SCORE_FNS[self.score_fn](self.arrays, np.repeat(users, 2))[:1]
+        return SCORE_FNS[self.score_fn](self.arrays, users)

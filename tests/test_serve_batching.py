@@ -1,0 +1,169 @@
+"""Micro-batching: coalesced responses must be bit-identical to solo ones.
+
+The batcher's contract is absolute — coalescing concurrent requests into
+one scoring pass may change *throughput*, never *bytes*.  These tests
+hammer a :class:`MicroBatcher` with racing threads (mixed users, mixed
+``k``, mixed ``exclude_seen``) and compare every response against a
+fresh single-request service, exactly.  They also pin the failure-path
+contracts: validation errors fire synchronously in the caller's thread
+(a malformed request can never poison a batch), and ``close()`` flushes
+queued work before refusing new requests.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BadRequestError,
+    MicroBatcher,
+    RecommenderService,
+    ServeError,
+    export_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def artifact_path(tiny_split, tmp_path_factory):
+    rng = np.random.default_rng(11)
+    train = tiny_split.train
+    path = tmp_path_factory.mktemp("batching") / "dense.npz"
+    export_payload(
+        path,
+        score_fn="dense",
+        arrays={"scores": rng.random((train.n_users, train.n_items))},
+        train=train,
+        model_name="Dense",
+    )
+    return path
+
+
+@pytest.fixture()
+def reference(artifact_path):
+    return RecommenderService(artifact_path, cache_size=0)
+
+
+def _hammer(batcher, requests, n_threads):
+    """Fire ``requests`` through ``batcher`` from ``n_threads`` racing threads."""
+    results = {}
+    errors = []
+    barrier = threading.Barrier(n_threads)
+    chunks = [requests[i::n_threads] for i in range(n_threads)]
+
+    def worker(chunk):
+        barrier.wait()
+        for request_id, user, k, exclude_seen in chunk:
+            try:
+                results[request_id] = batcher.recommend(user, k, exclude_seen)
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append((request_id, exc))
+
+    threads = [threading.Thread(target=worker, args=(chunk,)) for chunk in chunks]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, errors
+
+
+class TestHammerBitIdentity:
+    def test_uniform_k_storm_matches_unbatched_exactly(self, artifact_path, reference):
+        service = RecommenderService(artifact_path, cache_size=0)
+        batcher = MicroBatcher(service, max_batch=16)
+        n_users = reference.n_users
+        requests = [(i, i % n_users, 10, True) for i in range(200)]
+        try:
+            results, errors = _hammer(batcher, requests, n_threads=8)
+        finally:
+            batcher.close()
+        assert errors == []
+        assert len(results) == len(requests)
+        for request_id, user, k, exclude_seen in requests:
+            items, scores = results[request_id]
+            ref_items, ref_scores = reference.recommend(user, k, exclude_seen=exclude_seen)
+            np.testing.assert_array_equal(items, ref_items, err_msg=f"user {user}")
+            np.testing.assert_array_equal(scores, ref_scores, err_msg=f"user {user}")
+
+    def test_mixed_k_and_exclude_seen_storm(self, artifact_path, reference):
+        """Heterogeneous batches split into per-(k, exclude_seen) passes."""
+        service = RecommenderService(artifact_path, cache_size=0)
+        batcher = MicroBatcher(service, max_batch=32, max_wait_s=0.002)
+        n_users = reference.n_users
+        ks = (1, 7, 25)
+        requests = [
+            (i, (i * 13) % n_users, ks[i % len(ks)], i % 2 == 0) for i in range(150)
+        ]
+        try:
+            results, errors = _hammer(batcher, requests, n_threads=6)
+        finally:
+            batcher.close()
+        assert errors == []
+        for request_id, user, k, exclude_seen in requests:
+            items, scores = results[request_id]
+            ref_items, ref_scores = reference.recommend(user, k, exclude_seen=exclude_seen)
+            np.testing.assert_array_equal(items, ref_items)
+            np.testing.assert_array_equal(scores, ref_scores)
+
+    def test_storm_actually_coalesces(self, artifact_path):
+        """With a gathering window and racing threads, batches must form."""
+        service = RecommenderService(artifact_path, cache_size=0)
+        batcher = MicroBatcher(service, max_batch=64, max_wait_s=0.05)
+        requests = [(i, i % service.n_users, 10, True) for i in range(64)]
+        try:
+            _, errors = _hammer(batcher, requests, n_threads=16)
+            stats = batcher.stats()
+        finally:
+            batcher.close()
+        assert errors == []
+        assert stats["requests"] == 64
+        assert stats["batches"] < 64, "no coalescing happened at all"
+        assert stats["coalesced"] == 64 - stats["batches"]
+        assert stats["max_batch"] >= 2
+        assert stats["mean_batch"] == pytest.approx(64 / stats["batches"])
+
+
+class TestFailurePaths:
+    def test_bad_user_raises_synchronously_without_poisoning(self, artifact_path):
+        service = RecommenderService(artifact_path, cache_size=0)
+        batcher = MicroBatcher(service, max_batch=8)
+        try:
+            with pytest.raises(BadRequestError):
+                batcher.recommend(service.n_users + 5, 10)
+            with pytest.raises(BadRequestError):
+                batcher.recommend(0, 0)
+            # The batcher still serves good requests afterwards.
+            items, _ = batcher.recommend(0, 5)
+            assert len(items) == 5
+        finally:
+            batcher.close()
+
+    def test_close_flushes_then_refuses(self, artifact_path):
+        service = RecommenderService(artifact_path, cache_size=0)
+        batcher = MicroBatcher(service, max_batch=8)
+        items, _ = batcher.recommend(1, 5)
+        assert len(items) == 5
+        batcher.close()
+        with pytest.raises(ServeError):
+            batcher.recommend(1, 5)
+
+    def test_max_batch_must_be_positive(self, artifact_path):
+        service = RecommenderService(artifact_path, cache_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(service, max_batch=0)
+
+    def test_responses_are_private_copies(self, artifact_path):
+        """Mutating a returned array must not corrupt later responses."""
+        service = RecommenderService(artifact_path)
+        batcher = MicroBatcher(service, max_batch=8)
+        try:
+            items, scores = batcher.recommend(2, 5)
+            items[:] = -1
+            scores[:] = np.nan
+            again_items, again_scores = batcher.recommend(2, 5)
+            assert np.all(again_items >= 0)
+            assert np.all(np.isfinite(again_scores) | (again_scores == -np.inf))
+        finally:
+            batcher.close()

@@ -1,0 +1,201 @@
+"""Shard routing properties: the arithmetic the scale-out stack trusts.
+
+Hypothesis property tests over :func:`shard_for_user` / :class:`ShardMap`
+— every user lands on exactly one shard, assignments are stable across
+calls (the hash is unsalted), striping covers every shard, and
+re-sharding ``N → M`` preserves the user → *scores* mapping (what moves
+is only which backend answers, never what it answers).  Plus the
+:class:`ShardedService` facade contracts: ownership enforcement,
+cross-shard batching, swap propagation, and stats aggregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st
+
+from repro.serve import (
+    BadRequestError,
+    RecommenderService,
+    ShardMap,
+    ShardRoutingError,
+    ShardedService,
+    export_payload,
+    shard_for_user,
+)
+
+users_st = st.integers(min_value=0, max_value=2**40)
+shards_st = st.integers(min_value=1, max_value=64)
+
+
+class TestShardForUser:
+    @given(user=users_st, n_shards=shards_st)
+    def test_every_user_maps_to_exactly_one_valid_shard(self, user, n_shards):
+        shard = shard_for_user(user, n_shards)
+        assert isinstance(shard, int)
+        assert 0 <= shard < n_shards
+        # Exactly one: the function is deterministic, so re-asking yields
+        # the same shard — there is no second assignment to disagree with.
+        assert shard_for_user(user, n_shards) == shard
+
+    @given(user=users_st)
+    def test_single_shard_owns_everyone(self, user):
+        assert shard_for_user(user, 1) == 0
+
+    @given(n_shards=st.integers(min_value=2, max_value=16))
+    def test_contiguous_ids_spread_over_shards(self, n_shards):
+        """The hash must break up contiguous id blocks (a bare modulo wouldn't)."""
+        assignments = {shard_for_user(u, n_shards) for u in range(256)}
+        assert len(assignments) == n_shards
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_for_user(3, 0)
+
+
+class TestShardMap:
+    @given(
+        user=users_st,
+        n_shards=shards_st,
+        n_workers=st.integers(min_value=1, max_value=8),
+    )
+    def test_user_worker_consistent_with_shard_striping(self, user, n_shards, n_workers):
+        shard_map = ShardMap(n_shards=n_shards, n_workers=n_workers)
+        shard = shard_for_user(user, n_shards)
+        worker = shard_map.worker_for_user(user)
+        assert worker == shard % n_workers
+        assert shard in shard_map.shards_for_worker(worker)
+
+    @given(n_shards=shards_st, n_workers=st.integers(min_value=1, max_value=8))
+    def test_workers_partition_the_shard_space(self, n_shards, n_workers):
+        shard_map = ShardMap(n_shards=n_shards, n_workers=n_workers)
+        owned = [
+            shard for w in range(n_workers) for shard in shard_map.shards_for_worker(w)
+        ]
+        assert sorted(owned) == list(range(n_shards))  # exactly once each
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(n_shards=0, n_workers=1)
+        with pytest.raises(ValueError):
+            ShardMap(n_shards=4, n_workers=0)
+        with pytest.raises(ValueError):
+            ShardMap(n_shards=4, n_workers=2).worker_for_shard(4)
+        with pytest.raises(ValueError):
+            ShardMap(n_shards=4, n_workers=2).shards_for_worker(2)
+
+
+@pytest.fixture(scope="module")
+def artifact_path(tiny_split, tmp_path_factory):
+    rng = np.random.default_rng(23)
+    train = tiny_split.train
+    path = tmp_path_factory.mktemp("router") / "dense.npz"
+    export_payload(
+        path,
+        score_fn="dense",
+        arrays={"scores": rng.random((train.n_users, train.n_items))},
+        train=train,
+        model_name="Dense",
+    )
+    return path
+
+
+@pytest.fixture(scope="module")
+def flat(artifact_path):
+    return RecommenderService(artifact_path, cache_size=0)
+
+
+class TestShardedService:
+    def test_resharding_preserves_user_to_scores_mapping(self, artifact_path, flat):
+        """N → M re-shard: every user's response is unchanged, bit for bit.
+
+        The deployment's shard count is pure topology — re-sharding from
+        2 to 5 shards re-routes users to different backends but must
+        never change what any user receives.
+        """
+        n_users = flat.n_users
+        before = ShardedService(artifact_path, n_shards=2)
+        after = ShardedService(artifact_path, n_shards=5)
+        for user in range(n_users):
+            ref_items, ref_scores = flat.recommend(user, k=10)
+            for deployment in (before, after):
+                items, scores = deployment.recommend(user, k=10)
+                np.testing.assert_array_equal(items, ref_items, err_msg=f"user {user}")
+                np.testing.assert_array_equal(scores, ref_scores, err_msg=f"user {user}")
+
+    def test_partial_ownership_rejects_foreign_users(self, artifact_path):
+        """A worker owning a shard subset 421s every user it does not own."""
+        n_shards = 4
+        owned = (0, 2)
+        worker = ShardedService(artifact_path, n_shards=n_shards, shards=owned)
+        owned_set = set(owned)
+        seen_owned = seen_foreign = 0
+        for user in range(worker.n_users):
+            if shard_for_user(user, n_shards) in owned_set:
+                items, _ = worker.recommend(user, k=5)
+                assert len(items) == 5
+                seen_owned += 1
+            else:
+                with pytest.raises(ShardRoutingError):
+                    worker.recommend(user, k=5)
+                seen_foreign += 1
+        assert seen_owned and seen_foreign  # the tiny dataset hits both paths
+
+    def test_recommend_batch_routes_across_shards(self, artifact_path, flat):
+        sharded = ShardedService(artifact_path, n_shards=3)
+        users = [5, 0, 17, 5, 42, 3]  # duplicates and shard-mixing on purpose
+        items, scores = sharded.recommend_batch(users, k=8)
+        assert items.shape == (len(users), 8)
+        for row, user in enumerate(users):
+            ref_items, ref_scores = flat.recommend(user, k=8)
+            np.testing.assert_array_equal(items[row], ref_items)
+            np.testing.assert_array_equal(scores[row], ref_scores)
+
+    def test_swap_propagates_to_every_shard(self, artifact_path, tiny_split, tmp_path):
+        rng = np.random.default_rng(77)
+        train = tiny_split.train
+        other = tmp_path / "other.npz"
+        export_payload(
+            other,
+            score_fn="dense",
+            arrays={"scores": rng.random((train.n_users, train.n_items))},
+            train=train,
+            model_name="DenseV2",
+        )
+        sharded = ShardedService(artifact_path, n_shards=3)
+        version = sharded.swap_artifact(other)
+        assert version == 2
+        reference = RecommenderService(other, cache_size=0)
+        for user in range(0, sharded.n_users, 7):
+            items, scores = sharded.recommend(user, k=6)
+            ref_items, ref_scores = reference.recommend(user, k=6)
+            np.testing.assert_array_equal(items, ref_items)
+            np.testing.assert_array_equal(scores, ref_scores)
+        stats = sharded.stats()
+        assert stats["artifact"]["version"] == 2
+        assert all(s["artifact"]["swaps"] == 1 for s in stats["shards"].values())
+
+    def test_stats_aggregate_request_totals(self, artifact_path):
+        sharded = ShardedService(artifact_path, n_shards=3)
+        for user in range(12):
+            sharded.recommend(user, k=3)
+        sharded.score(0, [0, 1, 2])
+        stats = sharded.stats()
+        assert stats["n_shards"] == 3
+        assert stats["owned_shards"] == [0, 1, 2]
+        assert stats["requests"] == {"recommend": 12, "score": 1, "total": 13}
+        per_shard = sum(
+            s["requests"]["recommend"] for s in stats["shards"].values()
+        )
+        assert per_shard == 12
+
+    def test_invalid_shapes_rejected(self, artifact_path):
+        with pytest.raises(BadRequestError):
+            ShardedService(artifact_path, n_shards=0)
+        with pytest.raises(BadRequestError):
+            ShardedService(artifact_path, n_shards=2, shards=())
+        with pytest.raises(BadRequestError):
+            ShardedService(artifact_path, n_shards=2, shards=(0, 2))
