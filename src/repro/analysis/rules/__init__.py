@@ -2,6 +2,7 @@
 
 from . import (  # noqa: F401
     autodiff_contracts,
+    backend,
     contracts,
     hygiene,
     manifold_flow,

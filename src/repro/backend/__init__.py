@@ -1,0 +1,125 @@
+"""Pluggable compute backends for every numeric kernel in the repo.
+
+One process has one *active* backend, resolved in priority order:
+
+1. :func:`set_backend` (the ``--backend`` CLI flags call this);
+2. the ``REPRO_BACKEND`` environment variable, read once on the first
+   :func:`get_backend` call (forked workers re-read it explicitly at
+   startup — see ``repro.serve.pool``);
+3. the default, ``"numpy"`` — the verbatim pre-refactor kernels.
+
+Call sites do ``xp = get_backend()`` per kernel invocation; the lookup is
+a cached global read.  :func:`use_backend` scopes a temporary switch for
+tests and the paired backend benchmarks.
+
+>>> from repro.backend import get_backend, use_backend
+>>> get_backend().name
+'numpy'
+>>> with use_backend("fused") as xp:
+...     d2 = xp.sq_dist_lorentz(u, v)
+
+Backends registered here: ``numpy`` (reference, bit-exact with history)
+and ``fused`` (single-pass blocked kernels, ``REPRO_BACKEND_THREADS``
+knob, ≤1e-10 from the reference).  ``docs/BACKENDS.md`` documents the
+interface contract and how to add another.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from .base import KernelBackend
+from .fused import FusedBackend
+from .numpy_ref import NumpyBackend
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "FusedBackend",
+    "UnknownBackendError",
+    "activate_backend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+ENV_VAR = "REPRO_BACKEND"
+
+_REGISTRY: dict[str, type[KernelBackend]] = {
+    "numpy": NumpyBackend,
+    "fused": FusedBackend,
+}
+
+_instances: dict[str, KernelBackend] = {}
+_active: KernelBackend | None = None
+
+
+class UnknownBackendError(ValueError):
+    """Raised for a backend id that is not registered in this build.
+
+    Carries the requested id and the valid ids so CLI/env error paths can
+    print an actionable message instead of a bare KeyError.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.known = available_backends()
+        super().__init__(
+            f"unknown backend {name!r} (from {ENV_VAR} or --backend); "
+            f"this build knows {list(self.known)}"
+        )
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend ids, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def _resolve(name: str) -> KernelBackend:
+    if name not in _REGISTRY:
+        raise UnknownBackendError(name)
+    if name not in _instances:
+        _instances[name] = _REGISTRY[name]()
+    return _instances[name]
+
+
+def get_backend() -> KernelBackend:
+    """The active backend (resolving ``REPRO_BACKEND`` on first use)."""
+    global _active
+    if _active is None:
+        _active = _resolve(os.environ.get(ENV_VAR, "numpy"))
+    return _active
+
+
+def set_backend(name: str) -> KernelBackend:
+    """Activate a backend by id for the rest of the process."""
+    global _active
+    _active = _resolve(name)
+    return _active
+
+
+def activate_backend(name: str) -> KernelBackend:
+    """:func:`set_backend` + export ``REPRO_BACKEND``.
+
+    The CLI ``--backend`` flags call this instead of :func:`set_backend`
+    so that forked or spawned children (experiment job workers, serve
+    pool shards, smoke-test subprocesses) resolve the same backend from
+    the environment.
+    """
+    backend = set_backend(name)
+    os.environ[ENV_VAR] = name
+    return backend
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily activate a backend (yields it); restores on exit."""
+    global _active
+    previous = _active
+    _active = _resolve(name)
+    try:
+        yield _active
+    finally:
+        _active = previous

@@ -1,0 +1,255 @@
+"""The ``fused`` backend: single-pass, blocked, optionally threaded kernels.
+
+Same kernel set as :class:`~repro.backend.numpy_ref.NumpyBackend`, with
+the hot chains collapsed so each element of the output is touched by a
+short in-place pipeline instead of a parade of full-size temporaries:
+
+* **Temporary elimination** — every elementwise step after the GEMM runs
+  with ``out=`` into the one output buffer.  The reference
+  ``sq_dist_lorentz`` allocates six ``(b, n)`` float64 arrays per call;
+  this backend allocates one.  On a memory-bandwidth-bound box that is
+  where the speedup lives (the committed ``BENCH_backends.json`` shows
+  2–3× on the hyperbolic-distance and scoring kernels).
+* **One-GEMM Lorentz fold** — ``<u, v>_L`` is a single matrix product of
+  ``u`` with its time column negated, replacing the reference's
+  GEMM + outer-product + subtract (three full passes) with one BLAS call.
+* **Cache-sized blocking** — post-GEMM pipelines walk the output in row
+  blocks of ~1 MiB so each block stays in cache across the whole chain.
+* **Optional threading** — ``REPRO_BACKEND_THREADS=N`` (default 1) runs
+  the row blocks of the pairwise kernels on a thread pool.  NumPy ufuncs
+  release the GIL, blocks write disjoint rows, and every block runs the
+  identical op sequence, so results are bit-equal to the single-threaded
+  run regardless of ``N``.
+
+Accuracy policy (``tolerance = 1e-10``, documented in
+``docs/BACKENDS.md``): most overrides replay the reference op-order
+in-place and are **bit-identical**; only the reformulated kernels —
+``sq_dist_lorentz`` (one-GEMM fold) and ``sq_dist_euclid_gram``
+(re-associated accumulation) — may differ, by a few ulp of the operand
+magnitudes (~1e-14 for unit-scale embeddings).  Squared distances are
+compared, never raw ``arccosh`` outputs at the clamp boundary, so the
+ulp noise is never amplified through the infinite-derivative point.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from .constants import BOUNDARY_EPS, EPS, MAX_TANH_ARG, MIN_NORM
+from .numpy_ref import NumpyBackend
+
+__all__ = ["FusedBackend"]
+
+# Row blocks sized so one float64 block of the output (~1 MiB) fits in L2
+# alongside the broadcast row operands.
+_BLOCK_BYTES = 1 << 20
+
+
+class FusedBackend(NumpyBackend):
+    """Fused/threaded kernels; primitives inherited bit-exactly from numpy."""
+
+    name = "fused"
+    # Documented contract bound (docs/BACKENDS.md), not a numerical guard.
+    tolerance = 1e-10  # repro-lint: disable=magic-epsilon
+
+    def __init__(self):
+        raw = os.environ.get("REPRO_BACKEND_THREADS", "1")
+        try:
+            threads = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BACKEND_THREADS must be a positive integer, got {raw!r}"
+            ) from None
+        if threads < 1:
+            raise ValueError(f"REPRO_BACKEND_THREADS must be >= 1, got {threads}")
+        self._threads = threads
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_pid: int | None = None
+
+    @property
+    def threads(self) -> int:
+        """Worker threads used for row-blocked pairwise kernels."""
+        return self._threads
+
+    # -- block scheduling ----------------------------------------------
+    def _executor(self) -> ThreadPoolExecutor:
+        # Rebuilt after fork: a pool inherited from the parent process has
+        # dead worker threads (repro.serve.pool forks its shard workers).
+        pid = os.getpid()
+        if self._pool is None or self._pool_pid != pid:
+            self._pool = ThreadPoolExecutor(max_workers=self._threads)
+            self._pool_pid = pid
+        return self._pool
+
+    def _run_blocks(self, work, n_rows: int, n_cols: int) -> None:
+        """Apply ``work(r0, r1)`` over cache-sized row blocks of the output.
+
+        ``work`` must only touch rows ``[r0, r1)`` — disjoint slices keep
+        the threaded schedule deterministic and race-free.
+        """
+        block = max(1, _BLOCK_BYTES // max(1, n_cols * 8))
+        spans = [(r0, min(r0 + block, n_rows)) for r0 in range(0, n_rows, block)]
+        if self._threads > 1 and len(spans) > 1:
+            # Ufunc inner loops drop the GIL; blocks are embarrassingly
+            # row-parallel.
+            list(self._executor().map(lambda s: work(*s), spans))
+        else:
+            for r0, r1 in spans:
+                work(r0, r1)
+
+    # -- fused distance chains ----------------------------------------
+    def sq_dist_lorentz(self, u, v) -> np.ndarray:
+        # One GEMM computes <u, v>_L directly: negating the time column of
+        # u folds the -u0*v0 term into the product.  The reference's
+        # spatial GEMM, outer product and subtraction collapse into this
+        # single BLAS call (reformulation tolerance: a few ulp).
+        ut = u.copy()
+        ut[:, 0] = -ut[:, 0]
+        z = np.empty((u.shape[0], v.shape[0]), dtype=np.float64)
+        np.matmul(ut, v.T, out=z)
+
+        def work(r0: int, r1: int) -> None:
+            blk = z[r0:r1]
+            np.negative(blk, out=blk)  # -<u, v>_L = time - spatial
+            np.maximum(blk, 1.0, out=blk)
+            np.arccosh(blk, out=blk)
+            np.multiply(blk, blk, out=blk)
+
+        self._run_blocks(work, z.shape[0], z.shape[1])
+        return z
+
+    def sq_dist_euclid_gram(self, u, v) -> np.ndarray:
+        z = np.empty((u.shape[0], v.shape[0]), dtype=np.float64)
+        np.matmul(u, v.T, out=z)
+        # einsum avoids the (n, d) squared temporaries of ``(u * u).sum(1)``.
+        u_sq = np.einsum("ij,ij->i", u, u)
+        v_sq = np.einsum("ij,ij->i", v, v)
+
+        def work(r0: int, r1: int) -> None:
+            blk = z[r0:r1]
+            blk *= -2.0
+            blk += u_sq[r0:r1, None]
+            blk += v_sq[None, :]
+
+        self._run_blocks(work, z.shape[0], z.shape[1])
+        return z
+
+    def sq_dist_euclid_broadcast(self, u, v) -> np.ndarray:
+        # Same per-element op-order as the reference broadcast (bit-equal);
+        # blocking bounds the (block, n, d) difference temporary instead of
+        # materialising the full (b, n, d) cube.
+        b, n = u.shape[0], v.shape[0]
+        z = np.empty((b, n), dtype=np.float64)
+
+        def work(r0: int, r1: int) -> None:
+            diff = u[r0:r1, None, :] - v[None, :, :]
+            np.multiply(diff, diff, out=diff)
+            np.sum(diff, axis=-1, out=z[r0:r1])
+
+        self._run_blocks(work, b, n)
+        return z
+
+    def poincare_dist_matrix(self, x, y) -> np.ndarray:
+        # Reference op-order replayed in-place (bit-equal): power-of-two
+        # scalings commute with rounding, so the *= 2.0 placement is free.
+        z = np.empty((x.shape[0], y.shape[0]), dtype=np.float64)
+        np.matmul(x, y.T, out=z)
+        x_sq = np.sum(x * x, axis=-1)
+        y_sq = np.sum(y * y, axis=-1)
+        dx = np.maximum(1.0 - x_sq, BOUNDARY_EPS)
+        dy = np.maximum(1.0 - y_sq, BOUNDARY_EPS)
+
+        def work(r0: int, r1: int) -> None:
+            blk = z[r0:r1]
+            blk *= 2.0
+            np.subtract(x_sq[r0:r1, None], blk, out=blk)
+            blk += y_sq[None, :]
+            np.maximum(blk, 0.0, out=blk)  # diff_sq, identical to reference
+            den = np.multiply(dx[r0:r1, None], dy[None, :])
+            blk *= 2.0
+            blk /= den
+            blk += 1.0
+            np.maximum(blk, 1.0, out=blk)
+            np.arccosh(blk, out=blk)
+
+        self._run_blocks(work, z.shape[0], z.shape[1])
+        return z
+
+    # -- Lorentz model kernels ----------------------------------------
+    def lorentz_dist(self, x, y) -> np.ndarray:
+        prod = x * y
+        # asarray: for 1-d inputs the reduction yields a 0-d scalar, which
+        # cannot be an ``out=`` target.
+        z = np.asarray(prod[..., 1:].sum(axis=-1))
+        z -= prod[..., 0]  # <x, y>_L, same additions as the reference
+        np.negative(z, out=z)
+        np.maximum(z, 1.0, out=z)
+        return np.arccosh(z, out=z)
+
+    def lorentz_expmap0(self, z) -> np.ndarray:
+        sq = np.multiply(z, z)
+        norm = sq.sum(axis=-1, keepdims=True)
+        norm += MIN_NORM
+        np.sqrt(norm, out=norm)
+        clipped = np.minimum(norm, MAX_TANH_ARG)
+        out = np.empty(z.shape[:-1] + (z.shape[-1] + 1,), dtype=np.float64)
+        np.cosh(clipped, out=out[..., :1])
+        spatial = np.multiply(np.sinh(clipped), z, out=out[..., 1:])
+        spatial /= norm
+        return out
+
+    def lorentz_logmap0(self, x) -> np.ndarray:
+        spatial = x[..., 1:]
+        sp_norm = np.maximum(np.linalg.norm(spatial, axis=-1, keepdims=True), MIN_NORM)
+        out = np.multiply(np.arcsinh(sp_norm), spatial)
+        out /= sp_norm
+        return out
+
+    # -- Poincaré model kernels ---------------------------------------
+    def poincare_dist(self, x, y) -> np.ndarray:
+        d = x - y
+        np.multiply(d, d, out=d)
+        # asarray: 0-d reductions (single-point inputs) are not valid
+        # ``out=`` targets.
+        z = np.asarray(d.sum(axis=-1))
+        x_sq = np.sum(x * x, axis=-1)
+        y_sq = np.sum(y * y, axis=-1)
+        denom = np.maximum(1.0 - x_sq, BOUNDARY_EPS)
+        denom = denom * np.maximum(1.0 - y_sq, BOUNDARY_EPS)
+        z *= 2.0
+        z /= denom
+        z += 1.0
+        np.maximum(z, 1.0, out=z)
+        return np.arccosh(z, out=z)
+
+    def poincare_expmap0(self, v) -> np.ndarray:
+        norm = np.linalg.norm(v, axis=-1, keepdims=True)
+        np.maximum(norm, MIN_NORM, out=norm)
+        out = np.multiply(np.tanh(norm), v)
+        out /= norm
+        return self.poincare_proj(out)
+
+    def poincare_logmap0(self, x) -> np.ndarray:
+        norm = np.linalg.norm(x, axis=-1, keepdims=True)
+        np.clip(norm, MIN_NORM, 1.0 - BOUNDARY_EPS, out=norm)
+        out = np.multiply(np.arctanh(norm), x)
+        out /= norm
+        return out
+
+    # -- Klein model kernels ------------------------------------------
+    def einstein_midpoint(self, points, weights) -> np.ndarray:
+        sq = np.multiply(points, points)
+        g = sq.sum(axis=-1)
+        np.subtract(1.0, g, out=g)
+        np.maximum(g, EPS, out=g)
+        np.sqrt(g, out=g)
+        np.divide(1.0, g, out=g)  # gamma = 1 / sqrt(max(1 - ||p||^2, EPS))
+        w = np.multiply(g, weights, out=g)
+        denom = max(w.sum(), EPS)
+        pw = points * w[:, None]
+        out = pw.sum(axis=0)
+        out /= denom
+        return out

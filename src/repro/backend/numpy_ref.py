@@ -1,0 +1,226 @@
+"""The ``numpy`` reference backend: pre-refactor kernels, extracted verbatim.
+
+Every method body here is the exact expression that used to live at the
+call site (``repro.manifolds.lorentz/poincare/klein/maps``,
+``repro.serve.scoring``, ``repro.eval.metrics``) before the backend seam
+was introduced — same operations in the same order, so selecting this
+backend reproduces historical eval/serve/golden outputs bit-for-bit.
+That property is what the differential suites pin every other backend
+against.
+
+Do not "improve" these kernels: speed work belongs in a new backend (see
+``docs/BACKENDS.md``), and any numeric change here silently redefines
+the reference the whole stack is tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import KernelBackend
+from .constants import BOUNDARY_EPS, EPS, MAX_TANH_ARG, MIN_NORM
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(KernelBackend):
+    """Verbatim NumPy kernels; the semantic reference for every backend."""
+
+    name = "numpy"
+    tolerance = 0.0
+
+    # -- allocation ----------------------------------------------------
+    def asarray(self, x, dtype=np.float64) -> np.ndarray:
+        return np.asarray(x, dtype=dtype)
+
+    def zeros(self, shape, dtype=np.float64) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def empty(self, shape, dtype=np.float64) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    # -- products and reductions --------------------------------------
+    def matmul(self, a, b) -> np.ndarray:
+        return np.matmul(a, b)
+
+    def outer(self, a, b) -> np.ndarray:
+        return np.outer(a, b)
+
+    def norm(self, x, axis=None, keepdims: bool = False) -> np.ndarray:
+        return np.linalg.norm(x, axis=axis, keepdims=keepdims)
+
+    # -- elementwise primitives (bit-identical by construction) -------
+    exp = staticmethod(np.exp)
+    log = staticmethod(np.log)
+    log1p = staticmethod(np.log1p)
+    expm1 = staticmethod(np.expm1)
+    sqrt = staticmethod(np.sqrt)
+    tanh = staticmethod(np.tanh)
+    sinh = staticmethod(np.sinh)
+    cosh = staticmethod(np.cosh)
+    arcsinh = staticmethod(np.arcsinh)
+    arccosh = staticmethod(np.arccosh)
+    arctanh = staticmethod(np.arctanh)
+
+    # -- fused distance chains ----------------------------------------
+    def sq_dist_euclid_gram(self, u, v) -> np.ndarray:
+        """Pairwise ||u - v||² expanded to matmuls (mirrors CML.score_users)."""
+        return (u * u).sum(1)[:, None] + (v * v).sum(1)[None, :] - 2.0 * (u @ v.T)
+
+    def sq_dist_euclid_broadcast(self, u, v) -> np.ndarray:
+        """Broadcast twin used by TaxoRec's Euclidean ablation (same op order)."""
+        return ((u[:, None, :] - v[None, :, :]) ** 2).sum(axis=-1)
+
+    def sq_dist_lorentz(self, u, v) -> np.ndarray:
+        """Pairwise squared geodesic distances between Lorentz row sets."""
+        spatial = u[:, 1:] @ v[:, 1:].T
+        time = np.outer(u[:, 0], v[:, 0])
+        d = np.arccosh(np.maximum(time - spatial, 1.0))
+        return d * d
+
+    # -- Lorentz model kernels ----------------------------------------
+    def lorentz_inner(self, x, y, keepdims: bool = False) -> np.ndarray:
+        prod = x * y
+        time = -prod[..., :1]
+        space = prod[..., 1:].sum(axis=-1, keepdims=True)
+        out = time + space
+        return out if keepdims else out[..., 0]
+
+    def lorentz_dist(self, x, y) -> np.ndarray:
+        return np.arccosh(np.maximum(-self.lorentz_inner(x, y), 1.0))
+
+    def lorentz_proj(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64).copy()
+        spatial = x[..., 1:]
+        x[..., 0] = np.sqrt(1.0 + np.sum(spatial * spatial, axis=-1))
+        return x
+
+    def lorentz_expmap(self, x, v) -> np.ndarray:
+        sq = self.lorentz_inner(v, v, keepdims=True)
+        norm = np.sqrt(np.maximum(sq, MIN_NORM))
+        norm = np.minimum(norm, MAX_TANH_ARG)  # avoid cosh overflow on huge steps
+        out = np.cosh(norm) * x + np.sinh(norm) * v / np.maximum(norm, MIN_NORM)
+        return self.lorentz_proj(out)
+
+    def lorentz_expmap0(self, z) -> np.ndarray:
+        norm = np.sqrt(np.sum(z * z, axis=-1, keepdims=True) + MIN_NORM)
+        clipped = np.minimum(norm, MAX_TANH_ARG)
+        time = np.cosh(clipped)
+        spatial = np.sinh(clipped) * z / norm
+        return np.concatenate([time, spatial], axis=-1)
+
+    def lorentz_logmap0(self, x) -> np.ndarray:
+        spatial = x[..., 1:]
+        sp_norm = np.maximum(np.linalg.norm(spatial, axis=-1, keepdims=True), MIN_NORM)
+        return np.arcsinh(sp_norm) * spatial / sp_norm
+
+    # -- Poincaré model kernels ---------------------------------------
+    def poincare_proj(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        norm = np.linalg.norm(x, axis=-1, keepdims=True)
+        max_norm = 1.0 - BOUNDARY_EPS
+        scale = np.where(norm > max_norm, max_norm / np.maximum(norm, MIN_NORM), 1.0)
+        return x * scale
+
+    def mobius_add(self, x, y) -> np.ndarray:
+        xy = np.sum(x * y, axis=-1, keepdims=True)
+        x2 = np.sum(x * x, axis=-1, keepdims=True)
+        y2 = np.sum(y * y, axis=-1, keepdims=True)
+        num = (1.0 + 2.0 * xy + y2) * x + (1.0 - x2) * y
+        den = 1.0 + 2.0 * xy + x2 * y2
+        return num / np.maximum(den, MIN_NORM)
+
+    def poincare_expmap(self, x, v) -> np.ndarray:
+        norm = np.linalg.norm(v, axis=-1, keepdims=True)
+        norm = np.maximum(norm, MIN_NORM)
+        y = np.tanh(norm / 2.0) * v / norm
+        return self.poincare_proj(self.mobius_add(x, y))
+
+    def poincare_dist(self, x, y) -> np.ndarray:
+        diff_sq = np.sum((x - y) ** 2, axis=-1)
+        x_sq = np.sum(x * x, axis=-1)
+        y_sq = np.sum(y * y, axis=-1)
+        denom = np.maximum(1.0 - x_sq, BOUNDARY_EPS) * np.maximum(1.0 - y_sq, BOUNDARY_EPS)
+        arg = 1.0 + 2.0 * diff_sq / denom
+        return np.arccosh(np.maximum(arg, 1.0))
+
+    def poincare_dist_matrix(self, x, y) -> np.ndarray:
+        xy = x @ y.T
+        x_sq = np.sum(x * x, axis=-1)
+        y_sq = np.sum(y * y, axis=-1)
+        diff_sq = np.maximum(x_sq[:, None] - 2.0 * xy + y_sq[None, :], 0.0)
+        denom = (
+            np.maximum(1.0 - x_sq, BOUNDARY_EPS)[:, None]
+            * np.maximum(1.0 - y_sq, BOUNDARY_EPS)[None, :]
+        )
+        arg = 1.0 + 2.0 * diff_sq / denom
+        return np.arccosh(np.maximum(arg, 1.0))
+
+    def poincare_expmap0(self, v) -> np.ndarray:
+        norm = np.linalg.norm(v, axis=-1, keepdims=True)
+        norm = np.maximum(norm, MIN_NORM)
+        return self.poincare_proj(np.tanh(norm) * v / norm)
+
+    def poincare_logmap0(self, x) -> np.ndarray:
+        norm = np.linalg.norm(x, axis=-1, keepdims=True)
+        norm = np.clip(norm, MIN_NORM, 1.0 - BOUNDARY_EPS)
+        return np.arctanh(norm) * x / norm
+
+    # -- Klein model kernels ------------------------------------------
+    def einstein_midpoint(self, points, weights) -> np.ndarray:
+        sq = np.sum(points * points, axis=-1)
+        gamma = 1.0 / np.sqrt(np.maximum(1.0 - sq, EPS))
+        w = gamma * weights
+        denom = max(w.sum(), EPS)
+        return (points * w[:, None]).sum(axis=0) / denom
+
+    # -- model-to-model maps ------------------------------------------
+    def lorentz_to_poincare(self, x) -> np.ndarray:
+        return x[..., 1:] / (x[..., :1] + 1.0)
+
+    def poincare_to_lorentz(self, x) -> np.ndarray:
+        sq = np.sum(x * x, axis=-1, keepdims=True)
+        denom = np.maximum(1.0 - sq, EPS)
+        time = (1.0 + sq) / denom
+        spatial = 2.0 * x / denom
+        return np.concatenate([time, spatial], axis=-1)
+
+    def poincare_to_klein(self, x) -> np.ndarray:
+        sq = np.sum(x * x, axis=-1, keepdims=True)
+        return 2.0 * x / (1.0 + sq)
+
+    def klein_to_poincare(self, x) -> np.ndarray:
+        sq = np.sum(x * x, axis=-1, keepdims=True)
+        root = np.sqrt(np.maximum(1.0 - sq, 0.0))
+        return x / (1.0 + root)
+
+    # -- ranking -------------------------------------------------------
+    def rank_topk(self, scores, k: int) -> np.ndarray:
+        """Deterministic top-``k`` selection (``(-score, id)`` ordering).
+
+        Extracted verbatim from ``repro.eval.metrics.rank_topk`` (PR 2);
+        see that function's docstring for the tie-handling contract.
+        """
+        scores = np.asarray(scores)
+        n_rows, n = scores.shape
+        k = min(k, n)
+        if n_rows == 0 or k == 0:
+            return np.zeros((n_rows, k), dtype=np.int64)
+        if 4 * k >= n:
+            # Stable argsort of -scores: equal scores keep ascending-id order.
+            return np.argsort(-scores, axis=1, kind="stable")[:, :k].astype(np.int64)
+        # Threshold = k-th largest score per row.
+        kth = -np.partition(-scores, k - 1, axis=1)[:, k - 1 : k]
+        greater = scores > kth
+        tied = scores == kth
+        # Among threshold ties keep the lowest item ids (cumsum runs id-ascending).
+        need = k - greater.sum(axis=1, keepdims=True)
+        tie_rank = np.cumsum(tied, axis=1)
+        select = greater | (tied & (tie_rank <= need))
+        # np.nonzero is row-major, so each row's columns come out id-ascending;
+        # the stable sort below then only reorders by score, preserving the
+        # ascending-id tiebreak.
+        cols = np.nonzero(select)[1].reshape(n_rows, k).astype(np.int64)
+        row = np.arange(n_rows)[:, None]
+        order = np.argsort(-scores[row, cols], axis=1, kind="stable")
+        return cols[row, order]

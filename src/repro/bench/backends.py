@@ -1,0 +1,110 @@
+"""The backend benchmark suite: fused kernels vs the numpy reference.
+
+Every case runs the *same* backend kernel twice through the paired
+harness — the fast path under ``use_backend("fused")`` and the reference
+path under ``use_backend("numpy")`` — so the reported speedup is exactly
+the fused-over-reference ratio on identical inputs, and the differential
+suite (``tests/test_backend_differential.py``) guarantees the two paths
+agree within the fused backend's documented tolerance.
+
+Cases cover the three hot families the backend seam was cut for:
+
+* hyperbolic distance — ``sq_dist_lorentz`` and ``poincare_dist_matrix``,
+  the kernels behind HGCF/HyperML/TaxoRec scoring and taxonomy k-means;
+* batched scoring — ``sq_dist_euclid_gram`` (CML/SML and the
+  ``neg_sq_euclid`` frozen score-fn) and the broadcast twin;
+* GCN hot-path maps — ``lorentz_expmap0``/``lorentz_logmap0``, the
+  tangent-space round-trip every hyperbolic GCN layer makes.
+
+Results land in ``BENCH_backends.json`` (``python -m repro.bench --cases
+backends``); the committed document is the performance trajectory for the
+fused backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..backend import use_backend
+from ..backend.constants import DIV_EPS
+from ..utils import ensure_rng
+from .harness import BenchCase
+
+__all__ = ["BACKEND_CASES", "backend_cases"]
+
+
+def _pair_sizes(quick: bool) -> dict:
+    return {"b": 48, "n": 256, "d": 16} if quick else {"b": 512, "n": 2048, "d": 32}
+
+
+def _lorentz_rows(rng, n: int, d: int) -> np.ndarray:
+    spatial = rng.normal(0.0, 0.1, size=(n, d))
+    time = np.sqrt(1.0 + np.sum(spatial * spatial, axis=-1, keepdims=True))
+    return np.concatenate([time, spatial], axis=-1)
+
+
+def _poincare_rows(rng, n: int, d: int) -> np.ndarray:
+    x = rng.normal(0.0, 0.1, size=(n, d))
+    norm = np.linalg.norm(x, axis=-1, keepdims=True)
+    return x * np.tanh(norm) / np.maximum(norm, DIV_EPS)
+
+
+def _pair_setup(kind: str):
+    def setup(quick: bool):
+        sizes = _pair_sizes(quick)
+        rng = ensure_rng(3)
+        if kind == "lorentz":
+            u = _lorentz_rows(rng, sizes["b"], sizes["d"])
+            v = _lorentz_rows(rng, sizes["n"], sizes["d"])
+        elif kind == "poincare":
+            u = _poincare_rows(rng, sizes["b"], sizes["d"])
+            v = _poincare_rows(rng, sizes["n"], sizes["d"])
+        else:
+            u = rng.normal(size=(sizes["b"], sizes["d"]))
+            v = rng.normal(size=(sizes["n"], sizes["d"]))
+        return {"u": u, "v": v}
+
+    return setup
+
+
+def _map_setup(quick: bool):
+    sizes = _pair_sizes(quick)
+    rng = ensure_rng(5)
+    z = rng.normal(0.0, 0.1, size=(sizes["n"], sizes["d"]))
+    return {"z": z, "x": _lorentz_rows(rng, sizes["n"], sizes["d"])}
+
+
+def _kernel_case(name: str, kind: str, kernel: str, keys=("u", "v"), setup=None):
+    """Paired case: ``kernel`` under the fused backend vs under numpy."""
+
+    def fast(state):
+        with use_backend("fused") as xp:
+            return getattr(xp, kernel)(*(state[k] for k in keys))
+
+    def reference(state):
+        with use_backend("numpy") as xp:
+            return getattr(xp, kernel)(*(state[k] for k in keys))
+
+    return BenchCase(
+        name=name,
+        group="backend",
+        setup=setup or _pair_setup(kind),
+        fast=fast,
+        reference=reference,
+        workload=lambda quick: {**_pair_sizes(quick), "kernel": kernel},
+    )
+
+
+BACKEND_CASES: list[BenchCase] = [
+    _kernel_case("backend.sq_dist_lorentz", "lorentz", "sq_dist_lorentz"),
+    _kernel_case("backend.scoring_euclid_gram", "euclid", "sq_dist_euclid_gram"),
+    _kernel_case("backend.scoring_euclid_broadcast", "euclid", "sq_dist_euclid_broadcast"),
+    _kernel_case("backend.poincare_dist_matrix", "poincare", "poincare_dist_matrix"),
+    _kernel_case("backend.gcn_expmap0", None, "lorentz_expmap0", keys=("z",), setup=_map_setup),
+    _kernel_case("backend.gcn_logmap0", None, "lorentz_logmap0", keys=("x",), setup=_map_setup),
+]
+
+
+def backend_cases() -> list[BenchCase]:
+    """The backend suite (fresh list; callers may filter freely)."""
+    return list(BACKEND_CASES)

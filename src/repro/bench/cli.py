@@ -1,22 +1,34 @@
-"""``python -m repro.bench`` — run the hot-path benchmark suite.
+"""``python -m repro.bench`` — run a registered benchmark suite.
 
 Usage:
-    python -m repro.bench                 # full workloads -> BENCH_hotpaths.json
-    python -m repro.bench --quick         # CI smoke workloads -> BENCH_smoke.json
-    python -m repro.bench --only kmeans   # substring filter
-    python -m repro.bench --list          # show cases and exit
+    python -m repro.bench                    # hot paths -> BENCH_hotpaths.json
+    python -m repro.bench --cases backends   # fused-vs-numpy -> BENCH_backends.json
+    python -m repro.bench --quick            # CI smoke workloads -> BENCH_smoke.json
+    python -m repro.bench --only kmeans      # substring filter
+    python -m repro.bench --backend fused    # activate a compute backend first
+    python -m repro.bench --list             # show cases and exit
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 
+from ..backend import UnknownBackendError, activate_backend, available_backends
 from ..utils import render_table
+from .backends import backend_cases
 from .harness import run_cases, write_result
 from .hotpaths import hotpath_cases
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CASE_SETS"]
+
+# Registered case sets; the set name is the default suite name (and file
+# stem), so --cases backends writes BENCH_backends.json.
+CASE_SETS = {
+    "hotpaths": hotpath_cases,
+    "backends": backend_cases,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,9 +38,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Paired fast-vs-reference benchmarks for the repo's hot paths",
     )
     parser.add_argument(
+        "--cases",
+        default="hotpaths",
+        choices=sorted(CASE_SETS),
+        help="registered case set to run (default: hotpaths)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke mode: tiny workloads, suite name 'smoke'",
+        help="CI smoke mode: tiny workloads, suite name '<cases>_smoke'",
     )
     parser.add_argument("--only", default=None, help="substring filter on case names")
     parser.add_argument(
@@ -40,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--warmup", type=int, default=1, help="warmup calls per path")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timed calls per path (default 5, 2 in --quick)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help=f"compute backend {available_backends()} "
+                        "(default: $REPRO_BACKEND or 'numpy'); the backends "
+                        "case set switches backends per path itself")
     parser.add_argument("--list", action="store_true", help="list cases and exit")
     return parser
 
@@ -47,14 +69,27 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point: run the suite, print a table, write BENCH_<suite>.json."""
     args = build_parser().parse_args(argv)
-    cases = hotpath_cases()
+    if args.backend is not None:
+        try:
+            activate_backend(args.backend)
+        except UnknownBackendError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    cases = CASE_SETS[args.cases]()
     if args.list:
         for case in cases:
             ref = "paired" if case.reference else "fast-only"
             print(f"{case.name}  [{case.group}, {ref}]")
         return 0
 
-    suite = args.suite or ("smoke" if args.quick else "hotpaths")
+    if args.suite:
+        suite = args.suite
+    elif args.quick:
+        # Historical name for the default set ("smoke", kept stable for
+        # CI artifact paths); other sets get a distinguishing prefix.
+        suite = "smoke" if args.cases == "hotpaths" else f"{args.cases}_smoke"
+    else:
+        suite = args.cases
     repeats = args.repeats if args.repeats is not None else (2 if args.quick else 5)
     result = run_cases(
         cases,

@@ -22,6 +22,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..backend import get_backend
+
 __all__ = [
     "BenchCase",
     "SCHEMA",
@@ -106,6 +108,7 @@ def _environment() -> dict:
         "numpy": np.__version__,
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "backend": get_backend().name,
     }
 
 

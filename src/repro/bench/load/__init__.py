@@ -40,6 +40,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ...backend import get_backend
 from ...serve.errors import ServeError
 from ...serve.http import create_server
 from ...serve.service import RecommenderService
@@ -327,6 +328,7 @@ def sweep(
             # QPS curves only make sense relative to the core budget:
             # on one core, worker parallelism can't add compute.
             "cpu_count": os.cpu_count(),
+            "backend": get_backend().name,
         },
         "config": {
             "requests_per_cell": int(requests),

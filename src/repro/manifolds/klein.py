@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import Tensor
+from ..backend import get_backend
 from .base import ManifoldCheckError, manifold_checks_enabled
 from .constants import EPS as _EPS
 
@@ -35,7 +36,7 @@ def check_klein_point(x: np.ndarray, *, force: bool = False) -> np.ndarray:
     arr = np.asarray(x, dtype=np.float64)
     if not np.all(np.isfinite(arr)):
         raise ManifoldCheckError("klein: point contains non-finite values")
-    max_norm = float(np.max(np.linalg.norm(arr, axis=-1), initial=0.0))
+    max_norm = float(np.max(get_backend().norm(arr, axis=-1), initial=0.0))
     if max_norm >= 1.0:
         raise ManifoldCheckError(
             f"klein: point norm {max_norm:.17g} is outside the open unit ball"
@@ -106,8 +107,4 @@ def einstein_midpoint_batch_reference_np(
 
 def einstein_midpoint_np(points: np.ndarray, weights: np.ndarray) -> np.ndarray:
     """NumPy Einstein midpoint for ``(n, d)`` points and ``(n,)`` weights."""
-    sq = np.sum(points * points, axis=-1)
-    gamma = 1.0 / np.sqrt(np.maximum(1.0 - sq, _EPS))
-    w = gamma * weights
-    denom = max(w.sum(), _EPS)
-    return (points * w[:, None]).sum(axis=0) / denom
+    return get_backend().einstein_midpoint(points, weights)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import Tensor, concat
+from ..backend import get_backend
 from .base import Manifold
 from .constants import MAX_TANH_ARG as _MAX_TANH_ARG
 from .constants import MIN_NORM as _MIN_NORM
@@ -33,18 +34,11 @@ class Lorentz(Manifold):
     @staticmethod
     def inner_np(x: np.ndarray, y: np.ndarray, keepdims: bool = False) -> np.ndarray:
         """Lorentzian scalar product <x, y>_L along the last axis."""
-        prod = x * y
-        time = -prod[..., :1]
-        space = prod[..., 1:].sum(axis=-1, keepdims=True)
-        out = time + space
-        return out if keepdims else out[..., 0]
+        return get_backend().lorentz_inner(x, y, keepdims=keepdims)
 
     def proj(self, x: np.ndarray) -> np.ndarray:
         """Re-normalise the time coordinate: x_0 = sqrt(1 + ||x_{1:}||^2)."""
-        x = np.asarray(x, dtype=np.float64).copy()
-        spatial = x[..., 1:]
-        x[..., 0] = np.sqrt(1.0 + np.sum(spatial * spatial, axis=-1))
-        return x
+        return get_backend().lorentz_proj(x)
 
     def proj_tangent(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
         """Project ``v`` onto the tangent space at ``x``: v + <x, v>_L x."""
@@ -89,11 +83,7 @@ class Lorentz(Manifold):
 
     def expmap_np(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
         """exp_x(v) = cosh(||v||_L) x + sinh(||v||_L) v / ||v||_L (Eq. 23)."""
-        sq = self.inner_np(v, v, keepdims=True)
-        norm = np.sqrt(np.maximum(sq, _MIN_NORM))
-        norm = np.minimum(norm, _MAX_TANH_ARG)  # avoid cosh overflow on huge steps
-        out = np.cosh(norm) * x + np.sinh(norm) * v / np.maximum(norm, _MIN_NORM)
-        return self.proj(out)
+        return get_backend().lorentz_expmap(x, v)
 
     # ------------------------------------------------------------------
     # Geometry (differentiable)
@@ -119,7 +109,7 @@ class Lorentz(Manifold):
 
     def dist_np(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Geodesic distance on raw arrays."""
-        return np.arccosh(np.maximum(-self.inner_np(x, y), 1.0))
+        return get_backend().lorentz_dist(x, y)
 
     # ------------------------------------------------------------------
     # Origin log/exp maps (Eqs. 12 and 15)
@@ -154,19 +144,13 @@ class Lorentz(Manifold):
 
     def logmap0_np(self, x: np.ndarray) -> np.ndarray:
         """NumPy twin of :meth:`logmap0` (same arsinh form, same guard)."""
-        spatial = x[..., 1:]
-        sp_norm = np.maximum(np.linalg.norm(spatial, axis=-1, keepdims=True), _MIN_NORM)
-        return np.arcsinh(sp_norm) * spatial / sp_norm
+        return get_backend().lorentz_logmap0(x)
 
     def expmap0_np(self, z: np.ndarray) -> np.ndarray:
         """NumPy twin of :meth:`expmap0`.
 
-        Uses the same guarded norm as the Tensor path — ``sqrt(||z||^2 +
-        MIN_NORM)`` — so the divisor is floored identically and the two
-        implementations agree to the last ulp.
+        The backend kernel uses the same guarded norm as the Tensor path —
+        ``sqrt(||z||^2 + MIN_NORM)`` — so the divisor is floored
+        identically and the two implementations agree to the last ulp.
         """
-        norm = np.sqrt(np.sum(z * z, axis=-1, keepdims=True) + _MIN_NORM)
-        clipped = np.minimum(norm, _MAX_TANH_ARG)
-        time = np.cosh(clipped)
-        spatial = np.sinh(clipped) * z / norm
-        return np.concatenate([time, spatial], axis=-1)
+        return get_backend().lorentz_expmap0(z)

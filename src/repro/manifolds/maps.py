@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import Tensor, concat
+from ..backend import get_backend
 from .constants import EPS as _EPS
 
 __all__ = [
@@ -57,30 +58,23 @@ def klein_to_poincare(x: Tensor) -> Tensor:
 
 
 # ----------------------------------------------------------------------
-# NumPy versions
+# NumPy versions (backend-routed)
 # ----------------------------------------------------------------------
 def lorentz_to_poincare_np(x: np.ndarray) -> np.ndarray:
     """NumPy twin of :func:`lorentz_to_poincare`."""
-    return x[..., 1:] / (x[..., :1] + 1.0)
+    return get_backend().lorentz_to_poincare(x)
 
 
 def poincare_to_lorentz_np(x: np.ndarray) -> np.ndarray:
     """NumPy twin of :func:`poincare_to_lorentz`."""
-    sq = np.sum(x * x, axis=-1, keepdims=True)
-    denom = np.maximum(1.0 - sq, _EPS)
-    time = (1.0 + sq) / denom
-    spatial = 2.0 * x / denom
-    return np.concatenate([time, spatial], axis=-1)
+    return get_backend().poincare_to_lorentz(x)
 
 
 def poincare_to_klein_np(x: np.ndarray) -> np.ndarray:
     """NumPy twin of :func:`poincare_to_klein`."""
-    sq = np.sum(x * x, axis=-1, keepdims=True)
-    return 2.0 * x / (1.0 + sq)
+    return get_backend().poincare_to_klein(x)
 
 
 def klein_to_poincare_np(x: np.ndarray) -> np.ndarray:
     """NumPy twin of :func:`klein_to_poincare`."""
-    sq = np.sum(x * x, axis=-1, keepdims=True)
-    root = np.sqrt(np.maximum(1.0 - sq, 0.0))
-    return x / (1.0 + root)
+    return get_backend().klein_to_poincare(x)

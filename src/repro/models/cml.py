@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import Parameter, Tensor, hinge, no_grad
+from ..backend import get_backend
 from ..data import InteractionDataset
 from ..manifolds.constants import DIV_EPS
 from .base import Recommender, TrainConfig
@@ -67,9 +68,9 @@ class CML(Recommender):
         with no_grad():
             u = self.user_emb.data[users]  # (b, d)
             v = self.item_emb.data  # (n, d)
-            # ||u - v||² expanded to matmuls (avoids a (b, n, d) temporary).
-            d2 = (u * u).sum(1)[:, None] + (v * v).sum(1)[None, :] - 2.0 * (u @ v.T)
-            return -d2
+            # ||u - v||² expanded to matmuls (avoids a (b, n, d) temporary);
+            # the same backend kernel serves the frozen neg_sq_euclid path.
+            return -get_backend().sq_dist_euclid_gram(u, v)
 
     def frozen_scores(self) -> dict:
         """Negated squared Euclidean distances in the metric space."""

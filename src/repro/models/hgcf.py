@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import Parameter, Tensor, hinge, no_grad
+from ..backend import get_backend
 from ..data import InteractionDataset
 from ..manifolds import Lorentz
 from ..optim import RiemannianSGD
@@ -65,10 +66,7 @@ class HGCF(Recommender):
         with no_grad():
             hu, hv = self._encode()
             u, v = hu.data[users], hv.data
-            spatial = u[:, 1:] @ v[:, 1:].T
-            time = np.outer(u[:, 0], v[:, 0])
-            d = np.arccosh(np.maximum(time - spatial, 1.0))
-            return -(d * d)
+            return -get_backend().sq_dist_lorentz(u, v)
 
     def frozen_scores(self) -> dict:
         """Negated squared Lorentz distances over the GCN-propagated points."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import Parameter, Tensor, hinge, no_grad
+from ..backend import get_backend
 from ..data import InteractionDataset
 from ..manifolds import Lorentz
 from ..optim import RiemannianSGD
@@ -58,9 +59,7 @@ class HyperML(Recommender):
         with no_grad():
             u = self.user_emb.data[users]  # (b, d+1)
             v = self.item_emb.data  # (n, d+1)
-            inner = _pairwise_inner(u, v)
-            d = np.arccosh(np.maximum(-inner, 1.0))
-            return -(d * d)
+            return -get_backend().sq_dist_lorentz(u, v)
 
     def frozen_scores(self) -> dict:
         """Negated squared Lorentz distances between the raw hyperboloid points."""
@@ -68,10 +67,3 @@ class HyperML(Recommender):
             "score_fn": "neg_sq_lorentz",
             "arrays": {"user": self.user_emb.data.copy(), "item": self.item_emb.data.copy()},
         }
-
-
-def _pairwise_inner(u: np.ndarray, v: np.ndarray) -> np.ndarray:
-    """Pairwise Lorentzian inner products between row sets: (b, n)."""
-    spatial = u[:, 1:] @ v[:, 1:].T
-    time = np.outer(u[:, 0], v[:, 0])
-    return spatial - time

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import Parameter, Tensor, hinge, no_grad
+from ..backend import get_backend
 from ..data import InteractionDataset
 from .base import Recommender, TrainConfig
 from .cml import _clip_to_ball
@@ -71,8 +72,7 @@ class SML(Recommender):
         with no_grad():
             u = self.user_emb.data[users]
             v = self.item_emb.data
-            d2 = (u * u).sum(1)[:, None] + (v * v).sum(1)[None, :] - 2.0 * (u @ v.T)
-            return -d2
+            return -get_backend().sq_dist_euclid_gram(u, v)
 
     def frozen_scores(self) -> dict:
         """Negated squared Euclidean distances (margins only shape training)."""

@@ -32,6 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import Parameter, Tensor, concat, hinge, no_grad
+from ..backend import get_backend
 from ..data import InteractionDataset
 from ..manifolds.constants import BOUNDARY_EPS, DIV_EPS, MIN_NORM
 from ..manifolds import (
@@ -373,13 +374,11 @@ class TaxoRec(Recommender):
 # ----------------------------------------------------------------------
 def _pairwise_sq_dist_lorentz(u: np.ndarray, v: np.ndarray) -> np.ndarray:
     """Pairwise squared hyperbolic distances between Lorentz row sets."""
-    inner = u[:, 1:] @ v[:, 1:].T - np.outer(u[:, 0], v[:, 0])
-    d = np.arccosh(np.maximum(-inner, 1.0))
-    return d * d
+    return get_backend().sq_dist_lorentz(u, v)
 
 
 def _pairwise_sq_dist_euclid(u: np.ndarray, v: np.ndarray) -> np.ndarray:
-    return ((u[:, None, :] - v[None, :, :]) ** 2).sum(axis=-1)
+    return get_backend().sq_dist_euclid_broadcast(u, v)
 
 
 def _poincare_log0(x: Tensor) -> Tensor:

@@ -32,6 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..backend import get_backend
 from .errors import ArtifactError, SchemaMismatchError, UnknownScoreFnError
 from .scoring import SCORE_FNS, FrozenScorer, check_payload, frozen_counts
 
@@ -79,6 +80,7 @@ def _environment() -> dict:
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "platform": platform.platform(),
+        "backend": get_backend().name,
     }
 
 

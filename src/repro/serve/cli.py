@@ -25,6 +25,7 @@ import argparse
 import json
 import sys
 
+from ..backend import UnknownBackendError, activate_backend, available_backends
 from .artifact import export_from_checkpoint, load_artifact
 from .errors import ServeError
 from .http import create_server, serve_until_drained
@@ -52,6 +53,9 @@ def build_export_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shared", action="store_true",
                         help="also explode the artifact into an mmap-able shared "
                         "bundle directory (<out minus .npz>) for worker pools")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help=f"compute backend {available_backends()} "
+                        "(default: $REPRO_BACKEND or 'numpy')")
     return parser
 
 
@@ -84,12 +88,30 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--hot-swap-poll", type=float, default=0.0, metavar="SECS",
                         help="poll the artifact path every SECS seconds and hot-swap "
                         "when its target changes (0 disables; workers only)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help=f"compute backend {available_backends()} "
+                        "(default: $REPRO_BACKEND or 'numpy'; exported to "
+                        "forked shard workers)")
     return parser
+
+
+def _apply_backend(name: str | None) -> int:
+    """Activate a ``--backend`` flag; returns the exit code (0 = ok)."""
+    if name is None:
+        return 0
+    try:
+        activate_backend(name)
+    except UnknownBackendError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
 
 
 def export_main(argv: list[str]) -> int:
     """Entry point for the ``export`` subcommand."""
     args = build_export_parser().parse_args(argv)
+    if _apply_backend(args.backend):
+        return 2
     try:
         out = export_from_checkpoint(args.source, args.out, best=args.best)
     except (ServeError, KeyError, TypeError) as exc:
@@ -194,6 +216,8 @@ def _serve_pool(args) -> int:
 def serve_main(argv: list[str]) -> int:
     """Entry point for the ``serve`` subcommand."""
     args = build_serve_parser().parse_args(argv)
+    if _apply_backend(args.backend):
+        return 2
     if args.workers < 0:
         print("--workers must be >= 0", file=sys.stderr)
         return 2

@@ -30,6 +30,7 @@ grace period.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import signal
 import sys
 import threading
@@ -109,10 +110,17 @@ def _worker_main(
     hot_swap_poll_s: float,
 ) -> None:
     """Worker process body: build the shard-scoped service, serve, report."""
+    from ..backend import ENV_VAR, set_backend
     from .http import create_server
     from .router import ShardedService
 
     signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+    # Resolve the compute backend from the environment explicitly rather
+    # than trusting fork-inherited module state: under a spawn start method
+    # (non-POSIX fallback) the parent's set_backend() call never happened
+    # in this process, and the explicit call keeps both start methods on
+    # the same code path.
+    set_backend(os.environ.get(ENV_VAR, "numpy"))
     watcher = None
     server = None
     service = None

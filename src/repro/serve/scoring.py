@@ -30,6 +30,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..backend import get_backend
 from .errors import SchemaMismatchError, UnknownScoreFnError
 
 __all__ = [
@@ -60,19 +61,20 @@ def _register(name: str, required: tuple[str, ...]):
 # ----------------------------------------------------------------------
 @_register("dot", ("user", "item"))
 def _dot(arrays: dict, users: np.ndarray) -> np.ndarray:
-    return arrays["user"][users] @ arrays["item"].T
+    return get_backend().matmul(arrays["user"][users], arrays["item"].T)
 
 
 @_register("dot_bias", ("user", "item", "item_bias"))
 def _dot_bias(arrays: dict, users: np.ndarray) -> np.ndarray:
     u = arrays["user"][users]
-    return u @ arrays["item"].T + arrays["item_bias"][None, :]
+    return get_backend().matmul(u, arrays["item"].T) + arrays["item_bias"][None, :]
 
 
 @_register("dot_aspect", ("user", "item", "user_aspect", "item_aspect", "aspect_weight"))
 def _dot_aspect(arrays: dict, users: np.ndarray) -> np.ndarray:
-    base = arrays["user"][users] @ arrays["item"].T
-    aspect = arrays["user_aspect"][users] @ arrays["item_aspect"].T
+    xp = get_backend()
+    base = xp.matmul(arrays["user"][users], arrays["item"].T)
+    aspect = xp.matmul(arrays["user_aspect"][users], arrays["item_aspect"].T)
     return base + float(arrays["aspect_weight"]) * aspect
 
 
@@ -81,15 +83,12 @@ def _dot_aspect(arrays: dict, users: np.ndarray) -> np.ndarray:
 # ----------------------------------------------------------------------
 def _sq_dist_euclid_gram(u: np.ndarray, v: np.ndarray) -> np.ndarray:
     """Pairwise ||u - v||² expanded to matmuls (mirrors CML.score_users)."""
-    return (u * u).sum(1)[:, None] + (v * v).sum(1)[None, :] - 2.0 * (u @ v.T)
+    return get_backend().sq_dist_euclid_gram(u, v)
 
 
 def _sq_dist_lorentz(u: np.ndarray, v: np.ndarray) -> np.ndarray:
     """Pairwise squared geodesic distances between Lorentz row sets."""
-    spatial = u[:, 1:] @ v[:, 1:].T
-    time = np.outer(u[:, 0], v[:, 0])
-    d = np.arccosh(np.maximum(time - spatial, 1.0))
-    return d * d
+    return get_backend().sq_dist_lorentz(u, v)
 
 
 @_register("neg_sq_euclid", ("user", "item"))
@@ -110,7 +109,7 @@ _TWO_CHANNEL = ("user_ir", "item_ir", "user_tg", "item_tg", "alpha")
 
 def _sq_dist_euclid_broadcast(u: np.ndarray, v: np.ndarray) -> np.ndarray:
     """Broadcast twin used by TaxoRec's Euclidean ablation (same op order)."""
-    return ((u[:, None, :] - v[None, :, :]) ** 2).sum(axis=-1)
+    return get_backend().sq_dist_euclid_broadcast(u, v)
 
 
 @_register("two_channel_lorentz", _TWO_CHANNEL)

@@ -25,6 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..backend import get_backend
 from ..utils import Timer
 from .callbacks import (
     BestSnapshot,
@@ -63,6 +64,7 @@ def _environment() -> dict:
         "numpy": np.__version__,
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "backend": get_backend().name,
     }
 
 

@@ -1,0 +1,20 @@
+"""Fixture: every function here trips ``backend-discipline`` (3 findings).
+
+Each call is numerically guarded so the error-severity numerics rules stay
+silent — the only offence is bypassing the compute-backend seam.
+"""
+
+import numpy as np
+
+
+def dist_np(u, v):
+    arg = np.maximum(u @ v.T, 1.0)
+    return np.arccosh(arg)
+
+
+def scores_np(u, v):
+    return np.matmul(u, v.T)
+
+
+def row_norms_np(x):
+    return np.linalg.norm(x, axis=-1, keepdims=True)

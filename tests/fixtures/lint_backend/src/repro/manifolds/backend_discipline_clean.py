@@ -1,0 +1,33 @@
+"""Fixture: the healthy twin of ``backend_discipline_bad`` — zero findings.
+
+Kernel calls go through the seam, reference twins keep their deliberate
+direct-numpy bodies, and structural numpy (sum/concatenate) stays allowed.
+"""
+
+import numpy as np
+
+from repro.backend import get_backend
+
+
+def dist_np(u, v):
+    return get_backend().poincare_dist_matrix(u, v)
+
+
+def scores_np(u, v):
+    return get_backend().matmul(u, v.T)
+
+
+def row_norms_np(x):
+    return get_backend().norm(x, axis=-1, keepdims=True)
+
+
+def dist_matrix_reference_np(u, v):
+    # Reference twins are backend-independent on purpose: direct numpy here
+    # is the fixed point the differential suites compare every backend to.
+    arg = np.maximum(u @ v.T, 1.0)
+    return np.arccosh(arg)
+
+
+def interleave_np(u, v):
+    stacked = np.concatenate([u, v], axis=0)
+    return np.sum(stacked, axis=0)

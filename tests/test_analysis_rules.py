@@ -8,6 +8,9 @@ import pytest
 from repro.analysis import analyze_file, analyze_source
 
 FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+# backend-discipline scopes by dotted module name, so its fixtures live in a
+# mini src/ tree that module_name_for_path normalises to repro.* modules.
+BACKEND_FIXTURES = Path(__file__).parent / "fixtures" / "lint_backend"
 
 # (rule, bad fixture, expected violation count, clean twin)
 CASES = [
@@ -95,6 +98,12 @@ CASES = [
         2,
         FIXTURES / "bad_suppression_clean.py",
     ),
+    (
+        "backend-discipline",
+        BACKEND_FIXTURES / "src" / "repro" / "manifolds" / "backend_discipline_bad.py",
+        3,
+        BACKEND_FIXTURES / "src" / "repro" / "manifolds" / "backend_discipline_clean.py",
+    ),
 ]
 
 CASE_IDS = [case[0] for case in CASES]
@@ -140,7 +149,9 @@ def test_cli_filename_is_exempt_from_print_call():
 
 def test_negative_literal_keyword_is_not_risky():
     source = "import numpy as np\n\ndef f(x):\n    return np.sqrt(np.sum(x, axis=-1) + 1.0)\n"
-    assert analyze_source(source, "src/repro/manifolds/demo.py") == []
+    hits = [v for v in analyze_source(source, "src/repro/manifolds/demo.py")
+            if v.rule == "unclamped-boundary-op"]
+    assert hits == []
 
 
 def test_isotropic_init_scaling_is_not_a_norm_division():
@@ -190,4 +201,33 @@ def test_reassigned_norm_with_floor_is_guarded():
         "    norm = np.maximum(norm, eps)\n"
         "    return x / norm\n"
     )
-    assert analyze_source(source, "src/repro/manifolds/demo.py") == []
+    hits = [v for v in analyze_source(source, "src/repro/manifolds/demo.py")
+            if v.rule == "unclamped-boundary-op"]
+    assert hits == []
+
+
+def test_backend_discipline_is_warn_severity():
+    bad = BACKEND_FIXTURES / "src" / "repro" / "manifolds" / "backend_discipline_bad.py"
+    hits = [v for v in analyze_file(bad) if v.rule == "backend-discipline"]
+    assert hits and all(v.severity == "warn" for v in hits)
+
+
+def test_backend_package_is_exempt_from_backend_discipline():
+    violations = analyze_file(BACKEND_FIXTURES / "src" / "repro" / "backend" / "fastmath.py")
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
+def test_backend_discipline_covers_scoring_and_autodiff_modules():
+    source = "import numpy as np\n\ndef f(u, v):\n    return np.matmul(u, v.T)\n"
+    for module in ("src/repro/serve/scoring.py", "src/repro/autodiff/ops.py"):
+        hits = [v for v in analyze_source(source, module) if v.rule == "backend-discipline"]
+        assert len(hits) == 1, module
+
+
+def test_backend_discipline_ignores_unrouted_modules_and_structural_numpy():
+    kernel = "import numpy as np\n\ndef f(u, v):\n    return np.matmul(u, v.T)\n"
+    assert analyze_source(kernel, "src/repro/models/demo.py") == []
+    structural = "import numpy as np\n\ndef f(x):\n    return np.sum(np.abs(x), axis=-1)\n"
+    hits = [v for v in analyze_source(structural, "src/repro/manifolds/demo.py")
+            if v.rule == "backend-discipline"]
+    assert hits == []

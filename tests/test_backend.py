@@ -1,0 +1,149 @@
+"""Backend registry and selection tests: env resolution, typed negative
+paths, singleton caching, scoped switching, and CLI wiring."""
+
+import numpy as np
+import pytest
+
+import repro.backend as backend_mod
+from repro.backend import (
+    ENV_VAR,
+    FusedBackend,
+    NumpyBackend,
+    UnknownBackendError,
+    activate_backend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_active(monkeypatch):
+    """Every test runs against a pristine selection state and leaves none."""
+    previous = backend_mod._active
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    yield
+    backend_mod._active = previous
+
+
+class TestRegistry:
+    def test_registered_ids(self):
+        assert available_backends() == ("numpy", "fused")
+
+    def test_default_is_numpy(self):
+        backend_mod._active = None
+        assert get_backend().name == "numpy"
+
+    def test_env_var_resolved_on_first_use(self, monkeypatch):
+        backend_mod._active = None
+        monkeypatch.setenv(ENV_VAR, "fused")
+        assert get_backend().name == "fused"
+
+    def test_set_backend_overrides_env(self, monkeypatch):
+        backend_mod._active = None
+        monkeypatch.setenv(ENV_VAR, "fused")
+        assert set_backend("numpy").name == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_instances_are_cached_singletons(self):
+        assert set_backend("fused") is set_backend("fused")
+        assert get_backend() is set_backend("fused")
+
+    def test_tolerance_contract(self):
+        assert NumpyBackend().tolerance == 0.0
+        assert FusedBackend().tolerance == 1e-10  # repro-lint: disable=magic-epsilon
+
+
+class TestNegativePaths:
+    def test_unknown_env_backend_raises_typed_error(self, monkeypatch):
+        backend_mod._active = None
+        monkeypatch.setenv(ENV_VAR, "turbo")
+        with pytest.raises(UnknownBackendError) as excinfo:
+            get_backend()
+        err = excinfo.value
+        assert err.name == "turbo"
+        assert err.known == ("numpy", "fused")
+        # The message must be actionable: name the bad id, the sources the
+        # id can come from, and every valid id.
+        message = str(err)
+        assert "'turbo'" in message and ENV_VAR in message and "--backend" in message
+        assert "numpy" in message and "fused" in message
+
+    def test_unknown_backend_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            set_backend("nope")
+
+    def test_use_backend_rejects_unknown_before_entering(self):
+        set_backend("numpy")
+        with pytest.raises(UnknownBackendError):
+            with use_backend("nope"):
+                pass  # pragma: no cover - never entered
+        assert get_backend().name == "numpy"
+
+    def test_bench_cli_rejects_unknown_backend(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["--backend", "bogus", "--list"]) == 2
+        assert "unknown backend 'bogus'" in capsys.readouterr().err
+
+
+class TestScopedSwitching:
+    def test_use_backend_yields_and_restores(self):
+        set_backend("numpy")
+        with use_backend("fused") as xp:
+            assert xp.name == "fused"
+            assert get_backend() is xp
+        assert get_backend().name == "numpy"
+
+    def test_use_backend_restores_on_error(self):
+        set_backend("numpy")
+        with pytest.raises(RuntimeError):
+            with use_backend("fused"):
+                raise RuntimeError("boom")
+        assert get_backend().name == "numpy"
+
+    def test_nested_scopes_unwind_in_order(self):
+        set_backend("fused")
+        with use_backend("numpy"):
+            with use_backend("fused"):
+                assert get_backend().name == "fused"
+            assert get_backend().name == "numpy"
+        assert get_backend().name == "fused"
+
+
+class TestActivateBackend:
+    def test_exports_env_for_children(self, monkeypatch):
+        backend = activate_backend("fused")
+        assert backend.name == "fused"
+        import os
+
+        assert os.environ[ENV_VAR] == "fused"
+
+    def test_unknown_name_does_not_touch_env(self, monkeypatch):
+        import os
+
+        with pytest.raises(UnknownBackendError):
+            activate_backend("bogus")
+        assert ENV_VAR not in os.environ
+
+
+class TestFusedThreads:
+    def test_default_is_single_threaded(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND_THREADS", raising=False)
+        assert FusedBackend().threads == 1
+
+    def test_env_knob_is_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_THREADS", "2")
+        assert FusedBackend().threads == 2
+
+    def test_threaded_kernels_match_single_threaded(self, monkeypatch):
+        rng = np.random.default_rng(11)
+        u = rng.normal(size=(37, 9))
+        v = rng.normal(size=(53, 9))
+        monkeypatch.delenv("REPRO_BACKEND_THREADS", raising=False)
+        single = FusedBackend().sq_dist_euclid_gram(u, v)
+        monkeypatch.setenv("REPRO_BACKEND_THREADS", "3")
+        threaded = FusedBackend().sq_dist_euclid_gram(u, v)
+        # Disjoint row blocks: threading must not change a single bit.
+        np.testing.assert_array_equal(single, threaded)

@@ -1,0 +1,245 @@
+"""Differential suite: every fused kernel matches the numpy reference ≤1e-10.
+
+The fused backend's contract (``docs/BACKENDS.md``) is agreement with the
+``numpy`` reference backend within 1e-10 on every kernel it overrides.
+This file enforces that contract two ways:
+
+* deterministic edge fixtures — empty batches, 1-row batches, denormal
+  coordinates, points parked on the clamp boundaries (coincident Lorentz
+  rows, Poincaré points grazing the unit sphere);
+* a Hypothesis sweep over random shapes and values, subnormals included.
+
+``rank_topk`` is discrete, so there the requirement is exact index
+equality, not a tolerance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.backend import FusedBackend, NumpyBackend
+from repro.backend.constants import BOUNDARY_EPS
+
+REF = NumpyBackend()
+FUSED = FusedBackend()
+
+# The fused backend's documented agreement bound.
+TOL = FUSED.tolerance
+
+# (kernel, input builder) for every kernel FusedBackend overrides; builders
+# map an (n_rows_a, n_rows_b, dim) shape request to positional args.
+
+
+def _euclid(b, n, d, rng):
+    return rng.normal(0.0, 2.0, size=(b, d)), rng.normal(0.0, 2.0, size=(n, d))
+
+
+def _lorentz_rows(rng, n, d):
+    spatial = rng.normal(0.0, 0.5, size=(n, d))
+    time = np.sqrt(1.0 + np.sum(spatial * spatial, axis=-1, keepdims=True))
+    return np.concatenate([time, spatial], axis=-1)
+
+
+def _poincare_rows(rng, n, d, radius=0.6):
+    x = rng.normal(size=(n, d))
+    norms = np.maximum(np.linalg.norm(x, axis=-1, keepdims=True), 1e-12)
+    scale = radius * rng.uniform(0.01, 1.0, size=(n, 1))
+    return x / norms * scale
+
+
+def _assert_kernel_match(kernel, *args):
+    expected = getattr(REF, kernel)(*args)
+    actual = getattr(FUSED, kernel)(*args)
+    assert actual.shape == expected.shape, kernel
+    np.testing.assert_allclose(actual, expected, rtol=TOL, atol=TOL, err_msg=kernel)
+
+
+PAIRWISE_KERNELS = [
+    "sq_dist_euclid_gram",
+    "sq_dist_euclid_broadcast",
+    "sq_dist_lorentz",
+    "poincare_dist_matrix",
+]
+ROWWISE_KERNELS = ["lorentz_dist", "poincare_dist"]
+MAP_KERNELS = [
+    "lorentz_expmap0",
+    "lorentz_logmap0",
+    "poincare_expmap0",
+    "poincare_logmap0",
+]
+
+
+def _pairwise_args(kernel, rng, b, n, d):
+    if kernel == "sq_dist_lorentz":
+        return _lorentz_rows(rng, b, d), _lorentz_rows(rng, n, d)
+    if kernel == "poincare_dist_matrix":
+        return _poincare_rows(rng, b, d), _poincare_rows(rng, n, d)
+    return _euclid(b, n, d, rng)
+
+
+def _rowwise_args(kernel, rng, n, d):
+    if kernel == "lorentz_dist":
+        return _lorentz_rows(rng, n, d), _lorentz_rows(rng, n, d)
+    return _poincare_rows(rng, n, d), _poincare_rows(rng, n, d)
+
+
+def _map_args(kernel, rng, n, d):
+    if kernel == "lorentz_expmap0":
+        return (rng.normal(0.0, 0.5, size=(n, d)),)
+    if kernel == "lorentz_logmap0":
+        return (_lorentz_rows(rng, n, d),)
+    if kernel == "poincare_expmap0":
+        return (rng.normal(0.0, 0.5, size=(n, d)),)
+    return (_poincare_rows(rng, n, d),)
+
+
+class TestEdgeShapes:
+    """Empty and 1-row batches must round-trip both backends identically."""
+
+    @pytest.mark.parametrize("kernel", PAIRWISE_KERNELS)
+    @pytest.mark.parametrize("b,n", [(0, 3), (3, 0), (0, 0), (1, 1), (1, 5)])
+    def test_pairwise(self, kernel, b, n):
+        rng = np.random.default_rng(1)
+        _assert_kernel_match(kernel, *_pairwise_args(kernel, rng, b, n, 4))
+
+    @pytest.mark.parametrize("kernel", ROWWISE_KERNELS)
+    @pytest.mark.parametrize("n", [0, 1, 7])
+    def test_rowwise(self, kernel, n):
+        rng = np.random.default_rng(2)
+        _assert_kernel_match(kernel, *_rowwise_args(kernel, rng, n, 5))
+
+    @pytest.mark.parametrize("kernel", ROWWISE_KERNELS)
+    def test_rowwise_single_vector(self, kernel):
+        # 1-d (unbatched) inputs: reductions produce 0-d intermediates,
+        # the shape that once broke in-place fusing.
+        rng = np.random.default_rng(3)
+        x, y = _rowwise_args(kernel, rng, 1, 5)
+        _assert_kernel_match(kernel, x[0], y[0])
+
+    @pytest.mark.parametrize("kernel", MAP_KERNELS)
+    @pytest.mark.parametrize("n", [0, 1, 6])
+    def test_maps(self, kernel, n):
+        rng = np.random.default_rng(4)
+        _assert_kernel_match(kernel, *_map_args(kernel, rng, n, 4))
+
+
+class TestClampBoundaries:
+    def test_coincident_lorentz_rows_clamp_to_zero_distance(self):
+        # ⟨x,x⟩_L = -1 exactly up to rounding: the arccosh argument sits on
+        # the clamp boundary and both backends must land on distance 0.
+        rng = np.random.default_rng(5)
+        x = _lorentz_rows(rng, 6, 4)
+        _assert_kernel_match("sq_dist_lorentz", x, x)
+        _assert_kernel_match("lorentz_dist", x, x)
+
+    def test_poincare_points_grazing_the_sphere(self):
+        # Norms within BOUNDARY_EPS of 1: the conformal denominators hit
+        # their floors and both backends must clamp identically.
+        rng = np.random.default_rng(6)
+        x = _poincare_rows(rng, 5, 4)
+        x = x / np.linalg.norm(x, axis=-1, keepdims=True) * (1.0 - BOUNDARY_EPS / 2)
+        y = _poincare_rows(rng, 5, 4)
+        _assert_kernel_match("poincare_dist", x, y)
+        _assert_kernel_match("poincare_dist_matrix", x, y)
+        _assert_kernel_match("poincare_logmap0", x)
+
+    def test_zero_tangents_and_origin(self):
+        zero = np.zeros((3, 4))
+        _assert_kernel_match("lorentz_expmap0", zero)
+        _assert_kernel_match("poincare_expmap0", zero)
+        _assert_kernel_match("poincare_logmap0", zero)
+
+    def test_einstein_midpoint_zero_weights_hit_the_eps_floor(self):
+        rng = np.random.default_rng(7)
+        points = _poincare_rows(rng, 4, 3)
+        _assert_kernel_match("einstein_midpoint", points, np.zeros(4))
+
+
+class TestDenormals:
+    @pytest.mark.parametrize("kernel", PAIRWISE_KERNELS)
+    def test_subnormal_coordinates(self, kernel):
+        tiny = np.full((3, 4), 5e-324)
+        tiny[1] *= -1.0
+        if kernel == "sq_dist_lorentz":
+            u = np.concatenate([np.ones((3, 1)), tiny], axis=-1)
+            _assert_kernel_match(kernel, u, u)
+        else:
+            _assert_kernel_match(kernel, tiny, tiny)
+
+    @pytest.mark.parametrize("kernel", MAP_KERNELS)
+    def test_subnormal_map_inputs(self, kernel):
+        tiny = np.full((2, 3), 1e-310)
+        if kernel == "lorentz_logmap0":
+            tiny = np.concatenate([np.ones((2, 1)), tiny], axis=-1)
+        elif kernel == "poincare_logmap0":
+            pass  # subnormal points are (deep) interior points — valid as-is
+        _assert_kernel_match(kernel, tiny)
+
+
+class TestDiscreteKernels:
+    def test_rank_topk_indices_are_identical(self):
+        # Selection is discrete: backends must agree exactly, not within tol.
+        rng = np.random.default_rng(8)
+        scores = rng.normal(size=(9, 40))
+        scores[2, :5] = scores[2, 5]  # ties exercise the stable ordering
+        for k in (1, 5, 40):
+            np.testing.assert_array_equal(
+                FUSED.rank_topk(scores, k), REF.rank_topk(scores, k)
+            )
+
+
+@pytest.mark.slow
+class TestHypothesisSweep:
+    """Random shapes and values (subnormals included) stay within 1e-10."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        kernel=st.sampled_from(PAIRWISE_KERNELS),
+        b=st.integers(0, 6),
+        n=st.integers(0, 6),
+        d=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+    )
+    def test_pairwise_kernels(self, kernel, b, n, d, seed):
+        rng = np.random.default_rng(seed)
+        _assert_kernel_match(kernel, *_pairwise_args(kernel, rng, b, n, d))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        kernel=st.sampled_from(MAP_KERNELS),
+        n=st.integers(0, 6),
+        d=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+    )
+    def test_map_kernels(self, kernel, n, d, seed):
+        rng = np.random.default_rng(seed)
+        _assert_kernel_match(kernel, *_map_args(kernel, rng, n, d))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arr=hnp.arrays(
+            np.float64,
+            shape=st.tuples(st.integers(0, 5), st.integers(1, 5)),
+            elements=st.floats(
+                -2.0, 2.0, allow_nan=False, allow_subnormal=True, width=64
+            ),
+        )
+    )
+    def test_euclid_gram_on_adversarial_values(self, arr):
+        _assert_kernel_match("sq_dist_euclid_gram", arr, arr)
+        _assert_kernel_match("sq_dist_euclid_broadcast", arr, arr)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 5),
+        d=st.integers(1, 5),
+        seed=st.integers(0, 2**16),
+        weight_floor=st.floats(0.0, 1.0),
+    )
+    def test_einstein_midpoint(self, n, d, seed, weight_floor):
+        rng = np.random.default_rng(seed)
+        points = _poincare_rows(rng, n, d)
+        weights = weight_floor * rng.uniform(size=n)
+        _assert_kernel_match("einstein_midpoint", points, weights)
