@@ -44,7 +44,7 @@ _ROUTED_MODULES = frozenset({
     "repro.autodiff.ops",
     "repro.autodiff.functional",
 })
-_ROUTED_PREFIXES = ("repro.manifolds.",)
+_ROUTED_PREFIXES = ("repro.manifolds.", "repro.retrieval.")
 _EXEMPT_MODULES = frozenset({"repro.manifolds.constants"})
 _EXEMPT_PREFIXES = ("repro.backend",)
 
@@ -83,11 +83,12 @@ class BackendDiscipline(Rule):
     """Kernel-grade numpy calls in backend-routed modules must use the seam.
 
     Flags ``np.<kernel>``/``numpy.<kernel>``/``np.linalg.norm`` calls in
-    ``repro.manifolds.*``, ``repro.serve.scoring`` and the autodiff op
-    modules, where ``<kernel>`` is part of the surface ``KernelBackend``
-    abstracts (transcendentals, matmul/outer/einsum, norm).  Reference
-    twins (``*_reference*`` functions), ``repro.manifolds.constants`` and
-    ``repro.backend.*`` itself are exempt.
+    ``repro.manifolds.*``, ``repro.retrieval.*``, ``repro.serve.scoring``
+    and the autodiff op modules, where ``<kernel>`` is part of the
+    surface ``KernelBackend`` abstracts (transcendentals,
+    matmul/outer/einsum, norm).  Reference twins (``*_reference*``
+    functions), ``repro.manifolds.constants`` and ``repro.backend.*``
+    itself are exempt.
     """
 
     name = "backend-discipline"

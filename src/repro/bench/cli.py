@@ -20,6 +20,7 @@ from ..utils import render_table
 from .backends import backend_cases
 from .harness import run_cases, write_result
 from .hotpaths import hotpath_cases
+from .retrieval import retrieval_cases
 
 __all__ = ["main", "build_parser", "CASE_SETS"]
 
@@ -28,6 +29,7 @@ __all__ = ["main", "build_parser", "CASE_SETS"]
 CASE_SETS = {
     "hotpaths": hotpath_cases,
     "backends": backend_cases,
+    "retrieval": retrieval_cases,
 }
 
 

@@ -23,6 +23,7 @@ from typing import Any, Callable
 import numpy as np
 
 from ..backend import get_backend
+from ..retrieval import get_retrieval
 
 __all__ = [
     "BenchCase",
@@ -109,6 +110,7 @@ def _environment() -> dict:
         "platform": platform.platform(),
         "machine": platform.machine(),
         "backend": get_backend().name,
+        "retrieval": get_retrieval(),
     }
 
 

@@ -1,0 +1,148 @@
+"""The retrieval benchmark suite: candidate indexes vs exact scoring.
+
+Every case pairs a :mod:`repro.retrieval` candidate index (the fast
+path) against :class:`~repro.retrieval.ExactIndex` (the reference) on
+the same synthetic artifact and the same single-user query sweep, so the
+reported speedup is exactly the serving-path win of sub-linear candidate
+generation, and the recall measured at index build time is recorded in
+each case's workload block — the latency/recall frontier of
+``docs/RETRIEVAL.md``.
+
+Two item-catalog families, chosen to bracket the regimes that matter:
+
+* ``lorentz`` — points on the hyperboloid scored by ``neg_sq_lorentz``
+  (the paper's geometry).  Isotropic in high dimension: the blockwise
+  sweep wins by skipping the ``arccosh`` finish for non-candidates (and
+  by low-precision matmuls), while norm-bucket pruning has little to
+  grab onto — the committed numbers document that honestly.
+* ``skewed`` — ``dot_bias`` with power-law item norms (the popularity
+  skew real catalogs have, and the regime ASOS's norm-pruning argument
+  targets).  Here the bucketed index's provable bound prunes most of
+  the catalog while staying exact.
+
+Results land in ``BENCH_retrieval.json`` (``python -m repro.bench
+--cases retrieval``); ``--quick`` shrinks the catalog for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..retrieval import INDEX_KINDS, ExactIndex, measure_recall
+from ..serve.scoring import FrozenScorer
+from ..utils import ensure_rng
+
+__all__ = ["RETRIEVAL_CASES", "retrieval_cases"]
+
+_QUERY_K = 10
+
+
+def _sizes(quick: bool) -> dict:
+    return (
+        {"n_users": 24, "n_items": 1500, "d": 17, "query_users": 8, "recall_users": 8}
+        if quick
+        else {"n_users": 64, "n_items": 24000, "d": 33, "query_users": 32, "recall_users": 32}
+    )
+
+
+def _lorentz_rows(rng, n: int, d: int, scale: float = 1.2) -> np.ndarray:
+    spatial = rng.normal(0.0, scale, size=(n, d - 1))
+    time = np.sqrt(1.0 + np.sum(spatial * spatial, axis=-1, keepdims=True))
+    return np.ascontiguousarray(np.concatenate([time, spatial], axis=-1))
+
+
+def _seen_csr(rng, n_users: int, n_items: int, per_user: int = 20):
+    rows = [
+        np.sort(rng.choice(n_items, size=min(per_user, n_items), replace=False))
+        for _ in range(n_users)
+    ]
+    indptr = np.zeros(n_users + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum([len(r) for r in rows])
+    indices = np.concatenate(rows).astype(np.int64)
+    return indptr, indices
+
+
+def _payload(family: str, sizes: dict) -> tuple[str, dict]:
+    rng = ensure_rng(11)
+    n_users, n_items, d = sizes["n_users"], sizes["n_items"], sizes["d"]
+    if family == "lorentz":
+        return "neg_sq_lorentz", {
+            "user": _lorentz_rows(rng, n_users, d),
+            "item": _lorentz_rows(rng, n_items, d),
+        }
+    # Popularity-skewed catalog: power-law item norms, the regime where
+    # norm-bucket pruning pays (items are shuffled so norm order carries
+    # no id information).
+    norms = np.sort(rng.pareto(1.5, size=n_items) + 0.1)[::-1]
+    item = rng.normal(size=(n_items, d)) * norms[:, None] / np.sqrt(d)
+    return "dot_bias", {
+        "user": rng.normal(size=(n_users, d)),
+        "item": np.ascontiguousarray(rng.permutation(item)),
+        "item_bias": 0.1 * rng.normal(size=n_items),
+    }
+
+
+def _sweep(index, users) -> int:
+    for user in users:
+        index.topk(int(user), _QUERY_K, exclude_seen=True)
+    return len(users)
+
+
+def _retrieval_case(family: str, kind: str, label: str, **params):
+    """Paired case: one index spec vs exact scoring on one catalog family."""
+    from .harness import BenchCase
+
+    info: dict = {}
+
+    def setup(quick: bool):
+        sizes = _sizes(quick)
+        score_fn, payload = _payload(family, sizes)
+        scorer = FrozenScorer(score_fn, payload)
+        indptr, indices = _seen_csr(ensure_rng(13), sizes["n_users"], sizes["n_items"])
+        exact = ExactIndex(scorer, indptr, indices)
+        index = INDEX_KINDS[kind](scorer, indptr, indices, **params)
+        recall = measure_recall(
+            index, exact, ks=(10, 50), sample_users=sizes["recall_users"]
+        )
+        users = np.unique(
+            np.linspace(
+                0, sizes["n_users"] - 1, num=min(sizes["query_users"], sizes["n_users"])
+            ).astype(np.int64)
+        )
+        info.clear()
+        info.update(
+            {
+                "family": family,
+                "score_fn": score_fn,
+                "spec": {"kind": kind, **params},
+                "k": _QUERY_K,
+                "n_items": sizes["n_items"],
+                "d": sizes["d"],
+                "query_users": int(len(users)),
+                "recall": recall["recall"],
+            }
+        )
+        return {"index": index, "exact": exact, "users": users}
+
+    return BenchCase(
+        name=f"retrieval.{family}.{label}",
+        group="retrieval",
+        setup=setup,
+        fast=lambda state: _sweep(state["index"], state["users"]),
+        reference=lambda state: _sweep(state["exact"], state["users"]),
+        workload=lambda quick: dict(info),
+    )
+
+
+RETRIEVAL_CASES = [
+    _retrieval_case("lorentz", "blockwise", "blockwise_fp64"),
+    _retrieval_case("lorentz", "blockwise", "blockwise_fp32", dtype="fp32"),
+    _retrieval_case("lorentz", "bucketed", "bucketed", n_buckets=64),
+    _retrieval_case("skewed", "blockwise", "blockwise_fp32", dtype="fp32"),
+    _retrieval_case("skewed", "bucketed", "bucketed", n_buckets=64),
+]
+
+
+def retrieval_cases():
+    """The retrieval suite (fresh list; callers may filter freely)."""
+    return list(RETRIEVAL_CASES)

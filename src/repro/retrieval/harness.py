@@ -1,0 +1,117 @@
+"""Recall@K-vs-exact harness: ground truth, floors, and frontier records.
+
+Two ground truths, one per life-cycle stage:
+
+* **Offline** (a trained model plus its data split):
+  :func:`recall_against_evaluator` replays
+  :func:`repro.eval.topk_ranking` — the *same* ranking the offline
+  metrics are computed from — and scores an index against it, so a
+  recall number here is directly a statement about served quality.
+* **Artifact-only** (no split in sight, e.g. synthetic bench workloads):
+  :func:`repro.retrieval.indexes.measure_recall` compares against
+  :class:`~repro.retrieval.indexes.ExactIndex`, which the parity suite
+  proves identical to ``topk_ranking`` for every registered model.
+
+:func:`frontier` sweeps a list of index specs over one artifact and
+returns latency/recall records in the shape the ``retrieval`` bench
+suite emits into ``BENCH_retrieval.json`` (``repro.bench/v1``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .indexes import CandidateIndex, ExactIndex, build_index, measure_recall
+
+__all__ = ["recall_against_evaluator", "frontier"]
+
+
+def recall_against_evaluator(
+    model,
+    split,
+    index: CandidateIndex,
+    ks: tuple[int, ...] = (10, 50),
+    on: str = "valid",
+    batch_users: int = 512,
+) -> dict:
+    """Mean recall@k of ``index`` against :func:`repro.eval.topk_ranking`.
+
+    ``on="valid"`` masks exactly the train interactions — the same CSR an
+    exported artifact freezes into ``seen_indptr``/``seen_indices`` — so
+    the comparison is apples-to-apples with ``exclude_seen=True`` index
+    queries.  ``model`` is the reference scorer (a live model or a
+    :class:`~repro.serve.scoring.FrozenScorer`).
+    """
+    from ..eval.evaluator import topk_ranking
+
+    out: dict = {"ks": list(ks), "on": on, "recall": {}}
+    for k in ks:
+        k_eff = min(int(k), index.n_items)
+        users, exact_topk = topk_ranking(model, split, on=on, k=k_eff, batch_users=batch_users)
+        hits = 0
+        for row, user in enumerate(users):
+            approx = index.topk(int(user), k_eff, exclude_seen=True)[0]
+            hits += len(np.intersect1d(approx, exact_topk[row], assume_unique=True))
+        out["recall"][str(k)] = hits / (len(users) * k_eff) if len(users) else 1.0
+        out["sample_users"] = int(len(users))
+    return out
+
+
+def _time_queries(index: CandidateIndex, users, k: int, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock for one sweep of single-user queries."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for user in users:
+            index.topk(int(user), k, exclude_seen=True)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def frontier(
+    artifact,
+    specs: list[dict],
+    k: int = 10,
+    query_users: int = 32,
+    repeats: int = 3,
+    recall_ks: tuple[int, ...] = (10, 50),
+    recall_sample_users: int = 32,
+) -> list[dict]:
+    """Latency/recall frontier of index ``specs`` over one artifact.
+
+    Each spec is ``{"kind": ..., **build_params}``.  Every record holds
+    the spec, measured recall@k against :class:`ExactIndex`, the best
+    single-user query sweep time, and the exact baseline's time on the
+    same users — the speedup column of the retrieval bench.
+    """
+    scorer = artifact.scorer()
+    exact = ExactIndex(scorer, artifact.seen_indptr, artifact.seen_indices)
+    users = np.unique(
+        np.linspace(0, scorer.n_users - 1, num=min(query_users, scorer.n_users)).astype(np.int64)
+    )
+    exact_s = _time_queries(exact, users, k, repeats)
+    records = []
+    for spec in specs:
+        spec = dict(spec)
+        kind = spec.pop("kind")
+        index = build_index(artifact, kind, recall_sample_users=0, **spec)
+        index.recall = (
+            measure_recall(index, exact, ks=recall_ks, sample_users=recall_sample_users)
+            if kind != "exact"
+            else None
+        )
+        fast_s = _time_queries(index, users, k, repeats)
+        records.append(
+            {
+                "spec": {"kind": kind, **spec},
+                "provenance": index.provenance(),
+                "k": int(k),
+                "query_users": int(len(users)),
+                "fast_best_s": fast_s,
+                "exact_best_s": exact_s,
+                "speedup": exact_s / max(fast_s, np.finfo(np.float64).tiny),
+            }
+        )
+    return records

@@ -33,6 +33,7 @@ from pathlib import Path
 import numpy as np
 
 from ..backend import get_backend
+from ..retrieval import get_retrieval
 from .errors import ArtifactError, SchemaMismatchError, UnknownScoreFnError
 from .scoring import SCORE_FNS, FrozenScorer, check_payload, frozen_counts
 
@@ -81,6 +82,7 @@ def _environment() -> dict:
         "numpy": np.__version__,
         "platform": platform.platform(),
         "backend": get_backend().name,
+        "retrieval": get_retrieval(),
     }
 
 

@@ -26,6 +26,7 @@ import json
 import sys
 
 from ..backend import UnknownBackendError, activate_backend, available_backends
+from ..retrieval import UnknownRetrievalError, activate_retrieval, available_retrieval
 from .artifact import export_from_checkpoint, load_artifact
 from .errors import ServeError
 from .http import create_server, serve_until_drained
@@ -92,6 +93,10 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help=f"compute backend {available_backends()} "
                         "(default: $REPRO_BACKEND or 'numpy'; exported to "
                         "forked shard workers)")
+    parser.add_argument("--retrieval", default=None, metavar="KIND",
+                        help=f"candidate index {available_retrieval()} "
+                        "(default: $REPRO_RETRIEVAL or 'exact'; exported to "
+                        "forked shard workers)")
     return parser
 
 
@@ -102,6 +107,18 @@ def _apply_backend(name: str | None) -> int:
     try:
         activate_backend(name)
     except UnknownBackendError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _apply_retrieval(name: str | None) -> int:
+    """Activate a ``--retrieval`` flag; returns the exit code (0 = ok)."""
+    if name is None:
+        return 0
+    try:
+        activate_retrieval(name)
+    except UnknownRetrievalError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     return 0
@@ -217,6 +234,8 @@ def serve_main(argv: list[str]) -> int:
     """Entry point for the ``serve`` subcommand."""
     args = build_serve_parser().parse_args(argv)
     if _apply_backend(args.backend):
+        return 2
+    if _apply_retrieval(args.retrieval):
         return 2
     if args.workers < 0:
         print("--workers must be >= 0", file=sys.stderr)

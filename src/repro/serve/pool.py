@@ -108,9 +108,13 @@ def _worker_main(
     cache_size: int,
     index_k: int,
     hot_swap_poll_s: float,
+    retrieval: str | None,
+    retrieval_params: dict | None,
 ) -> None:
     """Worker process body: build the shard-scoped service, serve, report."""
     from ..backend import ENV_VAR, set_backend
+    from ..retrieval import ENV_VAR as RETRIEVAL_ENV_VAR
+    from ..retrieval import set_retrieval
     from .http import create_server
     from .router import ShardedService
 
@@ -121,6 +125,10 @@ def _worker_main(
     # in this process, and the explicit call keeps both start methods on
     # the same code path.
     set_backend(os.environ.get(ENV_VAR, "numpy"))
+    # The retrieval selection follows the same rule: an explicit argument
+    # wins, otherwise REPRO_RETRIEVAL (exported by activate_retrieval in
+    # the parent) decides, on both fork and spawn start methods.
+    set_retrieval(retrieval or os.environ.get(RETRIEVAL_ENV_VAR, "exact"))
     watcher = None
     server = None
     service = None
@@ -132,6 +140,7 @@ def _worker_main(
             cache_size=cache_size,
             index_k=index_k,
             micro_batch=micro_batch,
+            retrieval_params=retrieval_params,
         )
         server = create_server(service, host=host, port=0)
         if hot_swap_poll_s > 0:
@@ -184,6 +193,8 @@ class WorkerPool:
         cache_size: int = 1024,
         index_k: int = 0,
         hot_swap_poll_s: float = 0.0,
+        retrieval: str | None = None,
+        retrieval_params: dict | None = None,
     ):
         self.artifact_path = str(artifact_path)
         n_shards = int(n_shards if n_shards is not None else n_workers)
@@ -211,6 +222,8 @@ class WorkerPool:
                         int(cache_size),
                         int(index_k),
                         float(hot_swap_poll_s),
+                        retrieval,
+                        dict(retrieval_params) if retrieval_params else None,
                     ),
                     name=f"repro-serve-worker-{worker}",
                     daemon=True,

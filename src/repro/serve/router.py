@@ -70,6 +70,8 @@ class ShardedService:
         index_k: int = 0,
         micro_batch: int = 0,
         shards: tuple[int, ...] | None = None,
+        retrieval: str | None = None,
+        retrieval_params: dict | None = None,
     ):
         if n_shards < 1:
             raise BadRequestError(f"n_shards must be positive, got {n_shards}")
@@ -90,6 +92,8 @@ class ShardedService:
                 cache_size=cache_size,
                 index_k=index_k,
                 shard=(s, self.n_shards),
+                retrieval=retrieval,
+                retrieval_params=retrieval_params,
             )
             for s in owned
         }
@@ -208,6 +212,7 @@ class ShardedService:
             "n_shards": self.n_shards,
             "owned_shards": list(self.owned_shards),
             "artifact": first["artifact"],
+            "retrieval": first["retrieval"],
             "requests": totals,
             "shards": {str(s): stats for s, stats in shards.items()},
         }

@@ -44,6 +44,8 @@ from pathlib import Path
 import numpy as np
 
 from ..eval.metrics import rank_topk
+from ..retrieval import build_index as build_retrieval_index
+from ..retrieval import get_retrieval
 from .artifact import ModelArtifact, load_artifact
 from .errors import BadRequestError, ShardRoutingError
 from .sharding import shard_for_user
@@ -54,13 +56,14 @@ __all__ = ["RecommenderService"]
 class _Engine:
     """Immutable per-artifact snapshot: everything one request reads.
 
-    ``index`` is the only slot assigned after construction (an index
-    build attaches its result to the snapshot it was computed on); the
-    assignment is atomic and readers take it once, so a build racing a
-    swap can at worst attach an index to an already-retired snapshot.
+    ``index`` and ``retrieval`` are the only slots assigned after
+    construction (both attach a build result to the snapshot it was
+    computed on); each assignment is atomic and readers take it once, so
+    a build racing a swap can at worst attach to an already-retired
+    snapshot.
     """
 
-    __slots__ = ("artifact", "scorer", "n_users", "n_items", "version", "index")
+    __slots__ = ("artifact", "scorer", "n_users", "n_items", "version", "index", "retrieval")
 
     def __init__(self, artifact: ModelArtifact, version: int):
         self.artifact = artifact
@@ -69,6 +72,7 @@ class _Engine:
         self.n_items = self.scorer.n_items
         self.version = version
         self.index: dict | None = None
+        self.retrieval = None  # CandidateIndex, attached by _build_retrieval
 
 
 class RecommenderService:
@@ -90,6 +94,19 @@ class RecommenderService:
         Optional ``(shard_id, n_shards)``: this instance serves only the
         users whose :func:`~repro.serve.sharding.shard_for_user` equals
         ``shard_id`` and rejects the rest with :class:`ShardRoutingError`.
+    retrieval:
+        Candidate-index kind from :func:`repro.retrieval.available_retrieval`
+        (``None`` resolves the process-wide :func:`repro.retrieval.get_retrieval`
+        selection, default ``"exact"``).  Non-exact kinds route ``recommend``
+        top-K through a :class:`~repro.retrieval.CandidateIndex` built per
+        artifact snapshot; ``"exact"`` keeps the batched full-scoring path
+        byte-for-byte as before.  The built index's provenance (kind, build
+        params, build-time recall) is surfaced by :meth:`stats`, and a hot
+        swap rebuilds the index on the incoming snapshot before the flip.
+    retrieval_params:
+        Build parameters forwarded to :func:`repro.retrieval.build_index`
+        (e.g. ``block_items``/``dtype`` for blockwise, ``n_buckets``/
+        ``max_scan`` for bucketed, ``recall_sample_users`` for all kinds).
     """
 
     def __init__(
@@ -98,6 +115,8 @@ class RecommenderService:
         cache_size: int = 1024,
         index_k: int = 0,
         shard: tuple[int, int] | None = None,
+        retrieval: str | None = None,
+        retrieval_params: dict | None = None,
     ):
         if not isinstance(artifact, ModelArtifact):
             artifact = load_artifact(Path(artifact))
@@ -109,7 +128,12 @@ class RecommenderService:
                 )
             shard = (shard_id, n_shards)
         self.shard = shard
+        self._retrieval_spec = (
+            retrieval if retrieval is not None else get_retrieval(),
+            dict(retrieval_params or {}),
+        )
         self._engine = _Engine(artifact, version=1)
+        self._build_retrieval(self._engine)
         self._lock = threading.Lock()
         self._cache: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
         self._cache_capacity = max(int(cache_size), 0)
@@ -144,6 +168,25 @@ class RecommenderService:
     def artifact_version(self) -> int:
         """Monotonic version of the served artifact (bumped by hot swaps)."""
         return self._engine.version
+
+    @property
+    def retrieval_kind(self) -> str:
+        """The candidate-index kind this service was configured with."""
+        return self._retrieval_spec[0]
+
+    @property
+    def retrieval_index(self):
+        """The live :class:`~repro.retrieval.CandidateIndex` snapshot."""
+        return self._engine.retrieval
+
+    def _build_retrieval(self, engine: _Engine) -> None:
+        """Build the configured candidate index on one engine snapshot.
+
+        Called before the snapshot is published (construction, hot swap,
+        invalidation), so requests never observe a half-built index.
+        """
+        kind, params = self._retrieval_spec
+        engine.retrieval = build_retrieval_index(engine.artifact, kind, **params)
 
     # ------------------------------------------------------------------
     # Validation helpers
@@ -286,9 +329,15 @@ class RecommenderService:
                     cached[user] = hit
         if missing:
             batch = np.asarray(missing, dtype=np.int64)
-            scores = self._masked_scores(engine, batch, exclude_seen)
-            top = rank_topk(scores, k)
-            values = np.take_along_axis(scores, top, axis=1)
+            retr = engine.retrieval
+            if retr is not None and retr.kind != "exact":
+                # Bit-identical to the per-user path by construction
+                # (topk_batch is a per-user loop over index.topk).
+                top, values = retr.topk_batch(batch, k, exclude_seen)
+            else:
+                scores = self._masked_scores(engine, batch, exclude_seen)
+                top = rank_topk(scores, k)
+                values = np.take_along_axis(scores, top, axis=1)
             with self._lock:
                 for row, user in enumerate(missing):
                     result = (top[row], values[row])
@@ -311,6 +360,9 @@ class RecommenderService:
             # A prefix of the index *is* the top-k: the ranking key is a
             # total order, so smaller k lists are prefixes of larger ones.
             return index["items"][user, :k], index["scores"][user, :k]
+        retr = engine.retrieval
+        if retr is not None and retr.kind != "exact":
+            return retr.topk(user, k, exclude_seen)
         users = np.asarray([user], dtype=np.int64)
         scores = self._masked_scores(engine, users, exclude_seen)
         top = rank_topk(scores, k)[0]
@@ -372,6 +424,7 @@ class RecommenderService:
             artifact = load_artifact(Path(artifact))
         old = self._engine
         new = _Engine(artifact, version=old.version + 1)
+        self._build_retrieval(new)
         old_index = old.index
         if old_index is not None:
             new.index = self._build_index(
@@ -413,11 +466,14 @@ class RecommenderService:
 
         Call after mutating the artifact's arrays in place (a hot swap via
         :meth:`swap_artifact` does not need it); subsequent requests
-        recompute from the frozen arrays.
+        recompute from the frozen arrays.  The candidate index holds
+        *copies* of the item arrays (the reduced form), so it is rebuilt
+        here rather than merely dropped.
         """
         with self._lock:
             self._cache.clear()
             self._engine.index = None
+            self._build_retrieval(self._engine)
             self._cache_stats["invalidations"] += 1
 
     @property
@@ -465,6 +521,9 @@ class RecommenderService:
                 "index": None
                 if index is None
                 else {"k": index["k"], "exclude_seen": index["exclude_seen"]},
+                "retrieval": None
+                if engine.retrieval is None
+                else engine.retrieval.provenance(),
                 "latency": {
                     "count": count,
                     "total_seconds": total,

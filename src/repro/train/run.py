@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from ..backend import get_backend
+from ..retrieval import get_retrieval
 from ..utils import Timer
 from .callbacks import (
     BestSnapshot,
@@ -65,6 +66,7 @@ def _environment() -> dict:
         "platform": platform.platform(),
         "machine": platform.machine(),
         "backend": get_backend().name,
+        "retrieval": get_retrieval(),
     }
 
 

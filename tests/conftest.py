@@ -74,3 +74,69 @@ def tiny_run_dir(tmp_path_factory):
         checkpoint_every=1,
     )
     return outcome.run_dir.path
+
+
+def _lorentz_rows(rng, n: int, d: int, scale: float = 0.8) -> np.ndarray:
+    spatial = rng.normal(0.0, scale, size=(n, d - 1))
+    time = np.sqrt(1.0 + np.sum(spatial * spatial, axis=-1, keepdims=True))
+    return np.ascontiguousarray(np.concatenate([time, spatial], axis=-1))
+
+
+def make_frozen_payload(
+    score_fn: str, n_users: int = 24, n_items: int = 200, d: int = 8, seed: int = 0
+) -> dict:
+    """Synthetic payload for one frozen score-fn id (shared by the
+    retrieval suites); every array satisfies ``check_payload``."""
+    r = np.random.default_rng(seed)
+    if score_fn == "dot":
+        return {"user": r.normal(size=(n_users, d)), "item": r.normal(size=(n_items, d))}
+    if score_fn == "dot_bias":
+        return {
+            "user": r.normal(size=(n_users, d)),
+            "item": r.normal(size=(n_items, d)),
+            "item_bias": r.normal(size=n_items),
+        }
+    if score_fn == "dot_aspect":
+        return {
+            "user": r.normal(size=(n_users, d)),
+            "item": r.normal(size=(n_items, d)),
+            "user_aspect": r.normal(size=(n_users, d)),
+            "item_aspect": r.normal(size=(n_items, d)),
+            "aspect_weight": np.asarray(0.37),
+        }
+    if score_fn == "neg_sq_euclid":
+        return {"user": r.normal(size=(n_users, d)), "item": r.normal(size=(n_items, d))}
+    if score_fn == "neg_sq_lorentz":
+        return {"user": _lorentz_rows(r, n_users, d), "item": _lorentz_rows(r, n_items, d)}
+    if score_fn in ("two_channel_euclid", "two_channel_lorentz"):
+        rows = _lorentz_rows if score_fn == "two_channel_lorentz" else (
+            lambda rr, n, dd: rr.normal(size=(n, dd))
+        )
+        return {
+            "user_ir": rows(r, n_users, d),
+            "item_ir": rows(r, n_items, d),
+            "user_tg": rows(r, n_users, d),
+            "item_tg": rows(r, n_items, d),
+            "alpha": r.uniform(0.1, 0.9, size=n_users),
+        }
+    if score_fn == "dense":
+        return {"scores": r.normal(size=(n_users, n_items))}
+    raise ValueError(f"no synthetic payload for score_fn {score_fn!r}")
+
+
+def make_seen_csr(rng, n_users: int, n_items: int, per_user: int = 6):
+    """A small seen-CSR (``indptr``, ``indices``) with sorted rows."""
+    rows = [
+        np.sort(rng.choice(n_items, size=min(per_user, n_items), replace=False))
+        for _ in range(n_users)
+    ]
+    indptr = np.zeros(n_users + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum([len(row) for row in rows])
+    indices = np.concatenate(rows).astype(np.int64)
+    return indptr, indices
+
+
+@pytest.fixture(scope="session")
+def frozen_payload():
+    """Factory fixture over :func:`make_frozen_payload`."""
+    return make_frozen_payload

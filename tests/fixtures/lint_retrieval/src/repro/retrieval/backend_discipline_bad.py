@@ -1,0 +1,23 @@
+"""Fixture: every function here trips ``backend-discipline`` (3 findings).
+
+``repro.retrieval.*`` is a routed prefix — reduced-score matmuls and the
+monotone ``finish`` transcendentals must go through the compute seam.
+Each call is numerically guarded so the error-severity numerics rules
+stay silent; the only offence is bypassing the backend.
+"""
+
+import numpy as np
+
+
+def reduced_scores_np(queries, item_vectors, item_bias):
+    return np.matmul(queries, item_vectors.T) + item_bias
+
+
+def finish_lorentz_np(reduced):
+    arg = np.maximum(-reduced, 1.0)
+    d = np.arccosh(arg)
+    return -(d * d)
+
+
+def bucket_norms_np(item_vectors):
+    return np.linalg.norm(item_vectors, axis=1)

@@ -1,0 +1,38 @@
+"""Fixture: the healthy twin of ``backend_discipline_bad`` — zero findings.
+
+Kernel calls go through the seam, the reference twin keeps its
+deliberate direct-numpy body, and structural numpy (argpartition,
+lexsort, isin) stays allowed — candidate selection is bookkeeping, not
+kernel work.
+"""
+
+import numpy as np
+
+from repro.backend import get_backend
+
+
+def reduced_scores_np(queries, item_vectors, item_bias):
+    return get_backend().matmul(queries, item_vectors.T) + item_bias
+
+
+def finish_lorentz_np(reduced):
+    arg = np.maximum(-reduced, 1.0)
+    d = get_backend().arccosh(arg)
+    return -(d * d)
+
+
+def bucket_norms_np(item_vectors):
+    return get_backend().norm(item_vectors, axis=1)
+
+
+def finish_lorentz_reference_np(reduced):
+    # Reference twins are backend-independent on purpose: direct numpy is
+    # the fixed point the recall/parity suites compare every index to.
+    d = np.arccosh(np.maximum(-reduced, 1.0))
+    return -(d * d)
+
+
+def select_candidates_np(values, ids, budget):
+    keep = np.argpartition(-values, min(budget, len(values)) - 1)[:budget]
+    order = np.lexsort((ids[keep], -values[keep]))
+    return keep[order]

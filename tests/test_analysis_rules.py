@@ -11,6 +11,7 @@ FIXTURES = Path(__file__).parent / "fixtures" / "lint"
 # backend-discipline scopes by dotted module name, so its fixtures live in a
 # mini src/ tree that module_name_for_path normalises to repro.* modules.
 BACKEND_FIXTURES = Path(__file__).parent / "fixtures" / "lint_backend"
+RETRIEVAL_FIXTURES = Path(__file__).parent / "fixtures" / "lint_retrieval"
 
 # (rule, bad fixture, expected violation count, clean twin)
 CASES = [
@@ -103,6 +104,12 @@ CASES = [
         BACKEND_FIXTURES / "src" / "repro" / "manifolds" / "backend_discipline_bad.py",
         3,
         BACKEND_FIXTURES / "src" / "repro" / "manifolds" / "backend_discipline_clean.py",
+    ),
+    (
+        "backend-discipline",
+        RETRIEVAL_FIXTURES / "src" / "repro" / "retrieval" / "backend_discipline_bad.py",
+        3,
+        RETRIEVAL_FIXTURES / "src" / "repro" / "retrieval" / "backend_discipline_clean.py",
     ),
 ]
 
@@ -219,7 +226,12 @@ def test_backend_package_is_exempt_from_backend_discipline():
 
 def test_backend_discipline_covers_scoring_and_autodiff_modules():
     source = "import numpy as np\n\ndef f(u, v):\n    return np.matmul(u, v.T)\n"
-    for module in ("src/repro/serve/scoring.py", "src/repro/autodiff/ops.py"):
+    for module in (
+        "src/repro/serve/scoring.py",
+        "src/repro/autodiff/ops.py",
+        "src/repro/retrieval/reduction.py",
+        "src/repro/retrieval/indexes.py",
+    ):
         hits = [v for v in analyze_source(source, module) if v.rule == "backend-discipline"]
         assert len(hits) == 1, module
 

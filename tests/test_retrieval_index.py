@@ -1,0 +1,244 @@
+"""Candidate-index contracts: exactness, recall floors, fallback, bounds.
+
+The load-bearing guarantees:
+
+* ``BlockwiseIndex`` (fp64) and ``BucketedIndex`` (``max_scan=1.0``)
+  return *bit-for-bit* the same item ids as :class:`ExactIndex` for
+  every reducible score-fn, every ``k``, with and without exclude-seen.
+  Returned scores are bit-identical for the pure inner-product family
+  (``dot``, ``dot_bias`` — the reduction IS the frozen kernel) and agree
+  to float64 rearrangement tolerance (1e-12) for the score-fns whose
+  monotone ``finish`` re-expands a distance.  Approximate modes (fp32
+  sweep, ``max_scan < 1``) only relax candidate *selection*.
+* Score-fns with no reduced form degrade to an internal exact index and
+  record why in provenance — never a wrong answer, never an exception.
+* The bucketed per-bucket bound is provable: no item in a bucket ever
+  exceeds it (Hypothesis hammers this, including the Lorentz radial
+  branch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.retrieval import (
+    INDEX_KINDS,
+    BlockwiseIndex,
+    BucketedIndex,
+    ExactIndex,
+    build_index,
+    measure_recall,
+)
+
+from tests.conftest import make_frozen_payload, make_seen_csr
+
+REDUCIBLE = (
+    "dot",
+    "dot_bias",
+    "dot_aspect",
+    "neg_sq_euclid",
+    "neg_sq_lorentz",
+    "two_channel_euclid",
+)
+UNSUPPORTED = ("two_channel_lorentz", "dense")
+BITWISE_VALUES = ("dot", "dot_bias")
+
+
+def _scorer(score_fn: str, **kw):
+    from repro.serve.scoring import FrozenScorer
+
+    return FrozenScorer(score_fn, make_frozen_payload(score_fn, **kw))
+
+
+def _index_trio(score_fn: str, seed: int = 11, **build_kw):
+    scorer = _scorer(score_fn, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    indptr, indices = make_seen_csr(rng, scorer.n_users, scorer.n_items)
+    exact = ExactIndex(scorer, indptr, indices)
+    return scorer, (indptr, indices), exact
+
+
+def _assert_topk_equal(index, exact, users, ks=(1, 10, 50), bitwise_values=False):
+    for k in ks:
+        for exclude_seen in (True, False):
+            for user in users:
+                got_ids, got_vals = index.topk(int(user), k, exclude_seen)
+                ref_ids, ref_vals = exact.topk(int(user), k, exclude_seen)
+                np.testing.assert_array_equal(got_ids, ref_ids)
+                if bitwise_values:
+                    np.testing.assert_array_equal(got_vals, ref_vals)
+                else:
+                    np.testing.assert_allclose(got_vals, ref_vals, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("score_fn", REDUCIBLE)
+def test_blockwise_fp64_matches_exact(score_fn):
+    scorer, (indptr, indices), exact = _index_trio(score_fn)
+    # Small blocks force many partial argpartitions + the lexsort trim.
+    index = BlockwiseIndex(scorer, indptr, indices, block_items=37, pad=3)
+    _assert_topk_equal(
+        index,
+        exact,
+        users=range(0, scorer.n_users, 5),
+        bitwise_values=score_fn in BITWISE_VALUES,
+    )
+
+
+@pytest.mark.parametrize("score_fn", REDUCIBLE)
+def test_bucketed_full_scan_matches_exact(score_fn):
+    scorer, (indptr, indices), exact = _index_trio(score_fn)
+    index = BucketedIndex(scorer, indptr, indices, n_buckets=13, max_scan=1.0)
+    _assert_topk_equal(
+        index,
+        exact,
+        users=range(0, scorer.n_users, 5),
+        bitwise_values=score_fn in BITWISE_VALUES,
+    )
+
+
+def test_k_larger_than_catalog_is_clamped():
+    scorer, (indptr, indices), exact = _index_trio("dot_bias")
+    for index in (
+        BlockwiseIndex(scorer, indptr, indices),
+        BucketedIndex(scorer, indptr, indices),
+    ):
+        ids, vals = index.topk(0, scorer.n_items + 100, exclude_seen=True)
+        ref_ids, ref_vals = exact.topk(0, scorer.n_items + 100, exclude_seen=True)
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(vals, ref_vals)
+        assert len(ids) == scorer.n_items
+
+
+def test_blockwise_fp32_meets_recall_floor_with_exact_values():
+    scorer, (indptr, indices), exact = _index_trio("neg_sq_lorentz")
+    index = BlockwiseIndex(scorer, indptr, indices, dtype="fp32", block_items=64)
+    recall = measure_recall(index, exact, ks=(10, 50), sample_users=16)
+    assert recall["recall"]["10"] >= 0.99
+    assert recall["recall"]["50"] >= 0.99
+    # Survivors are re-scored in float64: any id both indexes return must
+    # carry full-precision scores even though selection ran in fp32.
+    ids, vals = index.topk(3, 10)
+    ref_ids, ref_vals = exact.topk(3, 10)
+    common, ia, ib = np.intersect1d(ids, ref_ids, return_indices=True)
+    assert len(common) >= 9
+    np.testing.assert_allclose(vals[ia], ref_vals[ib], rtol=1e-12, atol=1e-12)
+
+
+def test_bucketed_partial_scan_meets_recall_floor():
+    scorer, (indptr, indices), exact = _index_trio("dot_bias")
+    index = BucketedIndex(scorer, indptr, indices, n_buckets=16, max_scan=0.5)
+    recall = measure_recall(index, exact, ks=(10,), sample_users=16)
+    assert recall["recall"]["10"] >= 0.5
+
+
+@pytest.mark.parametrize("score_fn", UNSUPPORTED)
+@pytest.mark.parametrize("kind", ["blockwise", "bucketed"])
+def test_unsupported_score_fns_fall_back_to_exact(score_fn, kind):
+    scorer = _scorer(score_fn, n_items=60)
+    rng = np.random.default_rng(2)
+    indptr, indices = make_seen_csr(rng, scorer.n_users, scorer.n_items)
+    exact = ExactIndex(scorer, indptr, indices)
+    index = INDEX_KINDS[kind](scorer, indptr, indices)
+    assert index.fallback_reason
+    prov = index.provenance()
+    assert prov["index"] == kind
+    assert prov["fallback"] == index.fallback_reason
+    _assert_topk_equal(
+        index, exact, users=range(0, scorer.n_users, 7), ks=(1, 10), bitwise_values=True
+    )
+
+
+def test_bad_build_params_raise_value_error():
+    scorer, (indptr, indices), _ = _index_trio("dot")
+    with pytest.raises(ValueError, match="dtype"):
+        BlockwiseIndex(scorer, indptr, indices, dtype="fp8")
+    with pytest.raises(ValueError, match="max_scan"):
+        BucketedIndex(scorer, indptr, indices, max_scan=0.0)
+    with pytest.raises(ValueError, match="max_scan"):
+        BucketedIndex(scorer, indptr, indices, max_scan=1.5)
+
+
+def test_topk_batch_rows_match_single_user_calls():
+    scorer, (indptr, indices), _ = _index_trio("neg_sq_euclid")
+    index = BlockwiseIndex(scorer, indptr, indices, block_items=50)
+    users = np.asarray([0, 5, 11, 5], dtype=np.int64)
+    ids, vals = index.topk_batch(users, 7)
+    assert ids.shape == vals.shape == (4, 7)
+    for row, user in enumerate(users):
+        one_ids, one_vals = index.topk(int(user), 7)
+        np.testing.assert_array_equal(ids[row], one_ids)
+        np.testing.assert_array_equal(vals[row], one_vals)
+    empty_ids, empty_vals = index.topk_batch(np.zeros(0, dtype=np.int64), 7)
+    assert empty_ids.shape == (0, 7) and empty_vals.shape == (0, 7)
+
+
+class _ArtifactShim:
+    """The duck type ``build_index`` documents: scorer() + seen CSR."""
+
+    def __init__(self, scorer, indptr, indices):
+        self._scorer = scorer
+        self.seen_indptr = indptr
+        self.seen_indices = indices
+
+    def scorer(self):
+        return self._scorer
+
+
+def test_build_index_records_provenance_and_recall():
+    scorer, (indptr, indices), _ = _index_trio("dot_bias")
+    shim = _ArtifactShim(scorer, indptr, indices)
+    index = build_index(shim, kind="bucketed", n_buckets=8)
+    prov = index.provenance()
+    assert prov["index"] == "bucketed"
+    assert prov["score_fn"] == "dot_bias"
+    assert prov["params"] == {"n_buckets": 8, "max_scan": 1.0}
+    assert prov["build_seconds"] >= 0.0
+    assert prov["recall"]["recall"]["10"] == 1.0
+    exact = build_index(shim, kind="exact")
+    assert exact.recall is None
+    with pytest.raises(ValueError, match="unknown index kind"):
+        build_index(shim, kind="faiss")
+
+
+# ----------------------------------------------------------------------
+# Property: the per-bucket bound is provable, not merely usually true.
+# Tier-2 (slow): Hypothesis hammers every bucket of real index builds,
+# including the Lorentz radial branch, against the measured per-bucket
+# maximum of the reduced score.
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_BOUND_SCORE_FNS = ("dot_bias", "neg_sq_lorentz", "dot_aspect")
+_BOUND_CACHE: dict = {}
+
+
+def _bucketed(score_fn: str, seed: int) -> BucketedIndex:
+    key = (score_fn, seed)
+    if key not in _BOUND_CACHE:
+        scorer = _scorer(score_fn, n_users=16, n_items=120, seed=seed)
+        rng = np.random.default_rng(seed)
+        indptr, indices = make_seen_csr(rng, scorer.n_users, scorer.n_items)
+        _BOUND_CACHE[key] = BucketedIndex(scorer, indptr, indices, n_buckets=9)
+    return _BOUND_CACHE[key]
+
+
+@pytest.mark.slow
+@settings(max_examples=200, deadline=None)
+@given(
+    score_fn=st.sampled_from(_BOUND_SCORE_FNS),
+    seed=st.integers(0, 3),
+    user=st.integers(0, 15),
+)
+def test_bucket_bounds_are_never_violated(score_fn, seed, user):
+    index = _bucketed(score_fn, seed)
+    queries, _ = index.reduction.query(np.asarray([user], dtype=np.int64))
+    q = queries[0]
+    bounds = index.bucket_bounds(q)
+    reduced = index._vectors @ q + index._bias
+    for b, (lo, hi) in enumerate(index._slices):
+        assert reduced[lo:hi].max() <= bounds[b], (
+            f"{score_fn} seed={seed} user={user} bucket={b}: "
+            f"{reduced[lo:hi].max()} > {bounds[b]}"
+        )

@@ -1,0 +1,128 @@
+"""Retrieval ↔ offline parity: ``--retrieval`` must never change a response.
+
+The recall-floor contract of ``repro.retrieval``, asserted at the
+service layer for **every** model in the registry: a service built with
+``retrieval="blockwise"`` or ``retrieval="bucketed"`` (default, exact
+parameters) returns *identical* ranked item ids to the offline
+evaluator's :func:`repro.eval.topk_ranking` at ``k ∈ {1, 10, 50}`` —
+the same guarantee :mod:`tests.test_serve_parity` pins for the exact
+path.  Score-fns with no reduced form (``dense``,
+``two_channel_lorentz``) must degrade to the exact scoring path inside
+the index, recorded in provenance, with recall exactly 1.0 — the golden
+serve fixture locks this end to end against committed rankings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.eval import topk_ranking
+from repro.models import MODEL_REGISTRY, TrainConfig
+from repro.serve import RecommenderService, export_model, load_artifact
+
+MODEL_NAMES = sorted(MODEL_REGISTRY)
+PARITY_KS = (1, 10, 50)
+INDEX_KINDS = ("blockwise", "bucketed")
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures" / "serve"
+GOLDEN_ARTIFACT = FIXTURE_DIR / "golden_model.npz"
+GOLDEN_TOPK = FIXTURE_DIR / "golden_topk.json"
+
+_CACHE: dict[str, tuple] = {}
+
+
+@pytest.fixture(scope="module")
+def frozen(tiny_split, tmp_path_factory):
+    """Factory: train + export one registry model, serve it under every
+    retrieval kind (memoised across the module)."""
+
+    def build(name: str):
+        if name not in _CACHE:
+            model = MODEL_REGISTRY[name](tiny_split.train, TrainConfig(epochs=1, seed=3))
+            model.fit(tiny_split)
+            safe = name.replace("+", "_")
+            path = tmp_path_factory.mktemp("artifacts") / f"{safe}.npz"
+            export_model(model, path)
+            artifact = load_artifact(path)
+            services = {
+                kind: RecommenderService(artifact, retrieval=kind)
+                for kind in ("exact",) + INDEX_KINDS
+            }
+            _CACHE[name] = (model, artifact, services)
+        return _CACHE[name]
+
+    yield build
+    _CACHE.clear()
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_indexed_topk_identical_to_evaluator(frozen, tiny_split, name):
+    """Indexed serving == the offline evaluator's ranked lists, exactly,
+    for every registry model × index kind × k — the ISSUE's recall floor
+    for the exact-parameter indexes is 1.0 by construction."""
+    model, artifact, services = frozen(name)
+    reference = artifact.scorer() if name == "Random" else model
+    for k in PARITY_KS:
+        users, topk = topk_ranking(reference, tiny_split, on="valid", k=k)
+        for kind in INDEX_KINDS:
+            service = services[kind]
+            for i, user in enumerate(users):
+                items, scores = service.recommend(int(user), k=k, exclude_seen=True)
+                np.testing.assert_array_equal(
+                    items, topk[i], err_msg=f"{name} {kind} user {user} k={k}"
+                )
+                assert np.all(np.diff(scores) <= 0)
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_indexed_service_matches_exact_service_without_masking(frozen, name):
+    """exclude_seen=False: indexed ids == the exact service's ids."""
+    _, artifact, services = frozen(name)
+    exact = services["exact"]
+    for kind in INDEX_KINDS:
+        service = services[kind]
+        for user in range(0, artifact.n_users, 7):
+            ref_items, _ = exact.recommend(user, k=10, exclude_seen=False)
+            items, scores = service.recommend(user, k=10, exclude_seen=False)
+            np.testing.assert_array_equal(items, ref_items, err_msg=f"{name} {kind} {user}")
+            np.testing.assert_allclose(
+                scores, exact.recommend(user, k=10, exclude_seen=False)[1],
+                rtol=1e-12, atol=1e-12,
+            )
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_index_provenance_reports_perfect_recall(frozen, name):
+    """Exact-parameter indexes must measure recall 1.0 on every artifact
+    (the build-time sample recorded in stats/provenance)."""
+    _, _, services = frozen(name)
+    for kind in INDEX_KINDS:
+        prov = services[kind].stats()["retrieval"]
+        assert prov["index"] == kind
+        for value in prov["recall"]["recall"].values():
+            assert value == 1.0, f"{name} {kind}: {prov['recall']}"
+
+
+@pytest.mark.parametrize("kind", INDEX_KINDS)
+def test_golden_fixture_served_identically_under_any_index(kind):
+    """The committed golden artifact is ``dense`` (no reduced form): any
+    index kind must fall back to exact scoring, record why, and still
+    reproduce the pinned rankings bit-for-bit — ties and all."""
+    pinned = json.loads(GOLDEN_TOPK.read_text())
+    service = RecommenderService(load_artifact(GOLDEN_ARTIFACT), retrieval=kind)
+    prov = service.stats()["retrieval"]
+    assert prov["index"] == kind
+    assert prov["fallback"], "dense must record a fallback reason"
+    for value in prov["recall"]["recall"].values():
+        assert value == 1.0
+    for flag, exclude_seen in (("true", True), ("false", False)):
+        block = pinned[f"exclude_seen_{flag}"]
+        for row, user in enumerate(pinned["users"]):
+            items, scores = service.recommend(user, k=pinned["k"], exclude_seen=exclude_seen)
+            assert [int(i) for i in items] == block["items"][row], f"{kind} user {user}"
+            for served, expected in zip(scores, block["scores"][row]):
+                assert served == pytest.approx(expected, abs=1e-12), f"{kind} user {user}"

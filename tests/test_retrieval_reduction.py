@@ -1,0 +1,132 @@
+"""Score-fn reductions vs the frozen scorers, kernel by kernel.
+
+The contract of :mod:`repro.retrieval.reduction`: for every reducible
+score-fn, ``finish(q·x + b) + offset`` recovers the frozen kernel's
+scores — bit-for-bit for the pure inner-product family (``dot``,
+``dot_bias``), and to float64 rearrangement tolerance for the reductions
+that algebraically expand a distance (the expansion reorders the same
+flops, so agreement is ~1e-13 relative, far below any ranking-relevant
+gap).  Unsupported and unknown score-fns must fail *typed* so candidate
+indexes can fall back to exact scoring instead of guessing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.retrieval import Reduction, ReductionUnsupported, reduce_score_fn, reducible_score_fns
+from repro.serve.scoring import FrozenScorer
+
+REDUCIBLE = (
+    "dot",
+    "dot_bias",
+    "dot_aspect",
+    "neg_sq_euclid",
+    "neg_sq_lorentz",
+    "two_channel_euclid",
+)
+UNSUPPORTED = ("two_channel_lorentz", "dense")
+# dot/dot_bias reductions *are* the frozen kernel (same matmul, same
+# bias broadcast), so they must agree bit-for-bit; the rest algebraically
+# rearrange float64 flops.
+BITWISE = ("dot", "dot_bias")
+
+
+def _payload(score_fn: str, **kw) -> dict:
+    from tests.conftest import make_frozen_payload
+
+    return make_frozen_payload(score_fn, **kw)
+
+
+def _exact_and_reduced(score_fn: str, users: np.ndarray):
+    payload = _payload(score_fn, seed=3)
+    scorer = FrozenScorer(score_fn, payload)
+    exact = np.asarray(scorer.score_users(users), dtype=np.float64)
+    reduction = reduce_score_fn(score_fn, payload)
+    queries, offsets = reduction.query(users)
+    reduced = reduction.reduced_scores(queries)
+    return exact, reduction.finish(reduced, offsets), reduction
+
+
+def test_registry_matches_frozen_scorer_coverage():
+    from repro.serve.scoring import SCORE_FNS
+
+    assert set(REDUCIBLE) == set(reducible_score_fns())
+    assert set(REDUCIBLE) | set(UNSUPPORTED) == set(SCORE_FNS)
+
+
+@pytest.mark.parametrize("score_fn", REDUCIBLE)
+def test_reduction_recovers_frozen_scores(score_fn):
+    users = np.arange(24, dtype=np.int64)
+    exact, recovered, _ = _exact_and_reduced(score_fn, users)
+    if score_fn in BITWISE:
+        np.testing.assert_array_equal(recovered, exact)
+    else:
+        np.testing.assert_allclose(recovered, exact, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("score_fn", REDUCIBLE)
+def test_reduced_ranking_matches_exact_ranking(score_fn):
+    """Ranking by the reduced score == ranking by the exact score.
+
+    This is the property candidate indexes rely on: ``finish`` is
+    monotone and ``offset`` is per-user constant, so the reduced argsort
+    (with id tiebreak) equals the exact argsort for every user.
+    """
+    users = np.arange(24, dtype=np.int64)
+    exact, _, reduction = _exact_and_reduced(score_fn, users)
+    queries, _ = reduction.query(users)
+    reduced = reduction.reduced_scores(queries)
+    ids = np.arange(reduction.n_items)
+    for row in range(len(users)):
+        by_reduced = np.lexsort((ids, -reduced[row]))
+        by_exact = np.lexsort((ids, -exact[row]))
+        np.testing.assert_array_equal(by_reduced, by_exact, err_msg=score_fn)
+
+
+@pytest.mark.parametrize("score_fn", REDUCIBLE)
+def test_single_row_query_is_bit_identical_to_batched(score_fn):
+    """The GEMV→GEMM padding: one-user queries rank by the same bits."""
+    users = np.arange(8, dtype=np.int64)
+    payload = _payload(score_fn, seed=5)
+    reduction = reduce_score_fn(score_fn, payload)
+    queries, _ = reduction.query(users)
+    batched = reduction.reduced_scores(queries)
+    for row in range(len(users)):
+        single = reduction.reduced_scores(queries[row : row + 1])
+        np.testing.assert_array_equal(single[0], batched[row], err_msg=score_fn)
+
+
+@pytest.mark.parametrize("score_fn", REDUCIBLE)
+def test_item_arrays_are_contiguous_float64(score_fn):
+    reduction = reduce_score_fn(score_fn, _payload(score_fn))
+    assert isinstance(reduction, Reduction)
+    assert reduction.item_vectors.dtype == np.float64
+    assert reduction.item_vectors.flags["C_CONTIGUOUS"]
+    assert reduction.item_bias.shape == (reduction.n_items,)
+
+
+@pytest.mark.parametrize("score_fn", UNSUPPORTED)
+def test_unsupported_score_fns_raise_typed(score_fn):
+    payload = _payload(score_fn)
+    with pytest.raises(ReductionUnsupported) as excinfo:
+        reduce_score_fn(score_fn, payload)
+    assert excinfo.value.score_fn == score_fn
+    assert excinfo.value.reason
+
+
+def test_unknown_score_fn_raises_typed():
+    with pytest.raises(ReductionUnsupported) as excinfo:
+        reduce_score_fn("dot_v99", {})
+    assert excinfo.value.score_fn == "dot_v99"
+
+
+def test_lorentz_finish_clamp_is_inactive_on_hyperboloid_points():
+    """On-manifold rows: -⟨u,v⟩_L = cosh(d) >= 1, so the arccosh clamp's
+    flat region is only ever the query point itself."""
+    payload = _payload("neg_sq_lorentz", seed=9)
+    reduction = reduce_score_fn("neg_sq_lorentz", payload)
+    queries, _ = reduction.query(np.arange(24, dtype=np.int64))
+    reduced = reduction.reduced_scores(queries)
+    assert np.all(-reduced >= 1.0 - 1e-9)

@@ -145,8 +145,15 @@ class TestExportPayload:
     def test_meta_records_manifold_and_environment(self, artifact_path):
         meta = load_artifact(artifact_path).meta
         assert meta["manifold"] == {"space": "none"}
-        assert set(meta["environment"]) == {"python", "numpy", "platform", "backend"}
+        assert set(meta["environment"]) == {
+            "python",
+            "numpy",
+            "platform",
+            "backend",
+            "retrieval",
+        }
         assert meta["environment"]["backend"] in ("numpy", "fused")
+        assert meta["environment"]["retrieval"] in ("exact", "blockwise", "bucketed")
         assert meta["created_unix"] > 0
 
 
