@@ -56,6 +56,20 @@ worst = min(floors, key=lambda pair: pair[1])
 print(f"retrieval smoke ok ({len(floors)} case(s); worst recall {worst[1]:.3f} in {worst[0]})")
 PY
 
+echo "== stream bench smoke (fold-in vs retrain staleness race) =="
+python -m repro.bench --cases stream --quick --out benchmarks/results/BENCH_stream_smoke.json
+python - <<'PY'
+import json
+
+payload = json.load(open("benchmarks/results/BENCH_stream_smoke.json"))
+for bench in payload["benchmarks"]:
+    workload = bench["workload"]
+    assert set(workload["ndcg_at_10"]) == {"fold_in", "retrain", "frozen"}, bench["name"]
+    assert workload["ratio"] >= 0.0, (bench["name"], workload["ratio"])
+    assert bench["speedup"] > 1.0, (bench["name"], bench["speedup"])
+print(f"stream smoke ok ({len(payload['benchmarks'])} window(s); quick timings not gated)")
+PY
+
 echo "== train smoke =="
 python scripts/train_smoke.py
 
@@ -64,5 +78,8 @@ python scripts/serve_smoke.py
 
 echo "== serve load smoke (2 workers x 2 shards) =="
 python scripts/serve_load_smoke.py
+
+echo "== stream smoke (ingest -> fold-in -> serve parity -> attach) =="
+python scripts/stream_smoke.py
 
 echo "All checks passed."

@@ -44,7 +44,7 @@ _ROUTED_MODULES = frozenset({
     "repro.autodiff.ops",
     "repro.autodiff.functional",
 })
-_ROUTED_PREFIXES = ("repro.manifolds.", "repro.retrieval.")
+_ROUTED_PREFIXES = ("repro.manifolds.", "repro.retrieval.", "repro.stream.")
 _EXEMPT_MODULES = frozenset({"repro.manifolds.constants"})
 _EXEMPT_PREFIXES = ("repro.backend",)
 

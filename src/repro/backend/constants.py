@@ -70,3 +70,10 @@ MULT_UPDATE_EPS = 1e-9
 # keeps the bound provably above every computed q·x + b for any realistic
 # embedding width while loosening pruning by less than one part per billion.
 RETRIEVAL_BOUND_SLACK = 1e-9
+
+# Ridge regulariser for the streaming fold-in least-squares solves
+# (repro.stream.foldin): large enough to keep the normal equations
+# well-conditioned when a user has fewer evidence items than embedding
+# dimensions, small enough (≪ 1) not to shrink the solution visibly when
+# evidence is plentiful.
+FOLDIN_RIDGE = 1e-6

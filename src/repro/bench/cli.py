@@ -21,6 +21,7 @@ from .backends import backend_cases
 from .harness import run_cases, write_result
 from .hotpaths import hotpath_cases
 from .retrieval import retrieval_cases
+from .stream import stream_cases
 
 __all__ = ["main", "build_parser", "CASE_SETS"]
 
@@ -30,6 +31,7 @@ CASE_SETS = {
     "hotpaths": hotpath_cases,
     "backends": backend_cases,
     "retrieval": retrieval_cases,
+    "stream": stream_cases,
 }
 
 

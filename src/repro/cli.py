@@ -8,6 +8,7 @@ Usage:
     python -m repro experiment --models TaxoRec,CML --datasets ciao --seeds 0,1 --out-dir runs/sweep
     python -m repro export runs/cml --out models/cml.npz
     python -m repro serve models/cml.npz --port 8731
+    python -m repro stream fold models/cml.npz --events events.json --out models/cml_folded.npz
     python -m repro --list-models
 """
 
@@ -34,7 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TaxoRec reproduction: train and evaluate recommenders on synthetic presets",
-        epilog="Subcommands: python -m repro {experiment,export,serve} --help",
+        epilog="Subcommands: python -m repro {experiment,export,serve,stream} --help",
     )
     parser.add_argument("--model", default="TaxoRec", help="registered model name")
     parser.add_argument("--dataset", default="ciao", choices=PRESET_NAMES)
@@ -143,6 +144,10 @@ def main(argv: list[str] | None = None) -> int:
         from .serve.cli import serve_main
 
         return serve_main(argv[1:])
+    if argv[:1] == ["stream"]:
+        from .stream.cli import main as stream_main
+
+        return stream_main(argv[1:])
     args = build_parser().parse_args(argv)
     error = _activate_backend_arg(args.backend)
     if error:

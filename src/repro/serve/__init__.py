@@ -35,10 +35,12 @@ Scale-out layer (``docs/SERVE.md`` → *Scaling & load testing*):
 from .artifact import (
     MODEL_SCHEMA,
     ModelArtifact,
+    artifact_from_model,
     export_from_checkpoint,
     export_model,
     export_payload,
     load_artifact,
+    save_artifact,
     validate_model_artifact,
 )
 from .batching import MicroBatcher
@@ -66,10 +68,12 @@ from .sharding import ShardMap, shard_for_user
 __all__ = [
     "MODEL_SCHEMA",
     "ModelArtifact",
+    "artifact_from_model",
     "export_model",
     "export_payload",
     "export_from_checkpoint",
     "load_artifact",
+    "save_artifact",
     "validate_model_artifact",
     "ServeError",
     "ArtifactError",

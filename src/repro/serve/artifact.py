@@ -40,10 +40,12 @@ from .scoring import SCORE_FNS, FrozenScorer, check_payload, frozen_counts
 __all__ = [
     "MODEL_SCHEMA",
     "ModelArtifact",
+    "artifact_from_model",
     "export_model",
     "export_payload",
     "export_from_checkpoint",
     "load_artifact",
+    "save_artifact",
     "validate_model_artifact",
 ]
 
@@ -285,6 +287,79 @@ def export_model(model, out_path, *, source: str = "live") -> Path:
         config=asdict(config) if is_dataclass(config) else dict(config or {}),
         source=source,
     )
+
+
+def save_artifact(artifact: ModelArtifact, out_path) -> Path:
+    """Write an in-memory :class:`ModelArtifact` as a ``.npz`` file.
+
+    Inverse of :func:`load_artifact` for artifacts that did not come from
+    a live model — e.g. fold-in results (:mod:`repro.stream`), whose
+    ``meta["stream"]`` provenance survives the round-trip.  Validates
+    before writing, like every other export path.
+    """
+    problems = validate_model_artifact(
+        artifact.meta, artifact.arrays, artifact.seen_indptr, artifact.seen_indices
+    )
+    if problems:
+        raise SchemaMismatchError("refusing to save invalid artifact: " + "; ".join(problems))
+    payload: dict[str, np.ndarray] = {f"arrays/{k}": v for k, v in artifact.arrays.items()}
+    payload["seen/indptr"] = np.asarray(artifact.seen_indptr, dtype=np.int64)
+    payload["seen/indices"] = np.asarray(artifact.seen_indices, dtype=np.int64)
+    payload["ids/tag_names"] = np.asarray(artifact.tag_names, dtype=np.str_)
+    payload["__meta__"] = np.asarray(json.dumps(artifact.meta))
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(out_path, **payload)
+    return out_path
+
+
+def artifact_from_model(model, *, source: str = "live") -> ModelArtifact:
+    """Freeze one live model into an *in-memory* :class:`ModelArtifact`.
+
+    Same payload and metadata as :func:`export_model` without the
+    ``.npz`` round-trip — used by the streaming fold-in harness
+    (:mod:`repro.stream`) which rebuilds artifacts many times per replay
+    window.  The result passes the same validation as a loaded file.
+    """
+    from dataclasses import asdict, is_dataclass
+
+    payload = model.frozen_scores()
+    score_fn, arrays = payload["score_fn"], payload["arrays"]
+    problems = check_payload(score_fn, arrays)
+    if problems:
+        raise SchemaMismatchError("refusing to freeze invalid payload: " + "; ".join(problems))
+    arrays = {
+        name: np.ascontiguousarray(arr) if np.ndim(arr) else np.asarray(arr)
+        for name, arr in arrays.items()
+    }
+    train = model.train_data
+    config = model.config
+    seen = train.interaction_matrix()
+    meta = {
+        "schema": MODEL_SCHEMA,
+        "model": model.name,
+        "score_fn": score_fn,
+        "manifold": dict(_MANIFOLDS[score_fn]),
+        "dataset": {
+            "name": train.name,
+            "n_users": int(train.n_users),
+            "n_items": int(train.n_items),
+            "n_tags": int(train.n_tags),
+            "user_id_map": "identity",
+            "item_id_map": "identity",
+        },
+        "arrays": {name: list(arr.shape) for name, arr in arrays.items()},
+        "config": asdict(config) if is_dataclass(config) else dict(config or {}),
+        "source": source,
+        "environment": _environment(),
+        "created_unix": time.time(),
+    }
+    indptr = np.asarray(seen.indptr, dtype=np.int64)
+    indices = np.asarray(seen.indices, dtype=np.int64)
+    problems = validate_model_artifact(meta, arrays, indptr, indices)
+    if problems:
+        raise SchemaMismatchError("refusing to freeze invalid artifact: " + "; ".join(problems))
+    return ModelArtifact(meta, arrays, indptr, indices, tag_names=list(train.tag_names))
 
 
 def _resolve_checkpoint(source: Path) -> Path:

@@ -97,6 +97,9 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help=f"candidate index {available_retrieval()} "
                         "(default: $REPRO_RETRIEVAL or 'exact'; exported to "
                         "forked shard workers)")
+    parser.add_argument("--fold-in", default=None, metavar="EVENTS",
+                        help="repro.events/v1 JSON file folded into the loaded "
+                        "artifact before serving (repro.stream; single-process only)")
     return parser
 
 
@@ -162,6 +165,19 @@ def _serve_single(args) -> int:
     except ServeError as exc:
         print(f"cannot serve {args.artifact}: {exc}", file=sys.stderr)
         return 2
+    if args.fold_in:
+        from ..stream import StreamState, fold_into_service, read_events
+
+        state = StreamState.from_artifact(service.artifact)
+        report = state.ingest(read_events(args.fold_in))
+        folded = fold_into_service(service, state)
+        print(
+            f"folded {args.fold_in}: {report.accepted} event(s), "
+            f"{len(folded.meta['stream']['folded_users'])} user(s), "
+            f"{len(folded.meta['stream']['folded_items'])} item(s) "
+            f"(generation {folded.meta['stream']['generation']})",
+            flush=True,
+        )
     server = create_server(
         service, host=args.host, port=args.port, max_requests=args.max_requests
     )
@@ -241,5 +257,8 @@ def serve_main(argv: list[str]) -> int:
         print("--workers must be >= 0", file=sys.stderr)
         return 2
     if args.workers > 0:
+        if args.fold_in:
+            print("--fold-in requires single-process serving (--workers 0)", file=sys.stderr)
+            return 2
         return _serve_pool(args)
     return _serve_single(args)

@@ -524,6 +524,15 @@ class RecommenderService:
                 "retrieval": None
                 if engine.retrieval is None
                 else engine.retrieval.provenance(),
+                # Fold-in provenance (repro.stream): which users/items were
+                # solved online and the artifact's stream generation.
+                "stream": None
+                if engine.artifact.meta.get("stream") is None
+                else {
+                    "stream_generation": engine.artifact.meta["stream"]["generation"],
+                    "folded_users": list(engine.artifact.meta["stream"]["folded_users"]),
+                    "folded_items": list(engine.artifact.meta["stream"]["folded_items"]),
+                },
                 "latency": {
                     "count": count,
                     "total_seconds": total,

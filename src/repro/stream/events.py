@@ -1,0 +1,233 @@
+"""Interaction-ingest layer: event batches over a frozen artifact.
+
+The streaming path starts here: production traffic arrives as batches of
+``(user, item, timestamp)`` interaction events against a *frozen* serving
+artifact (``repro.model/v1``).  :class:`StreamState` accumulates those
+events as per-user and per-item deltas relative to the artifact's
+seen-CSR, with two contracts the Hypothesis suite
+(``tests/test_stream_property.py``) locks:
+
+* **Order-insensitive within a batch** — the state after ``ingest(batch)``
+  is a pure function of the *set* of events in the batch, never of their
+  order.  Deltas are kept as id-keyed sets and every read path returns
+  sorted arrays, so downstream fold-in is deterministic.
+* **Idempotent on duplicates** — an event already reflected in the
+  artifact's seen-CSR, or already ingested earlier, is counted as a
+  duplicate and changes nothing.  Folding in a user whose "new" events
+  all duplicate training interactions therefore leaves the frozen
+  embedding untouched (the exactness contract of
+  ``tests/test_stream_foldin.py``).
+
+Event files (``repro.events/v1``) are plain JSON documents so streams can
+be committed as fixtures and replayed by the CLI / smoke scripts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "EVENTS_SCHEMA",
+    "Event",
+    "IngestReport",
+    "StreamState",
+    "read_events",
+    "write_events",
+]
+
+EVENTS_SCHEMA = "repro.events/v1"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One interaction event.  ``user``/``item`` ids may exceed the frozen
+    artifact's counts — that is what makes them *new* users/items."""
+
+    user: int
+    item: int
+    ts: float = 0.0
+
+
+@dataclass
+class IngestReport:
+    """What one :meth:`StreamState.ingest` call changed.
+
+    ``accepted`` counts events that created a new ``(user, item)`` delta;
+    ``duplicates`` counts events already present (in the artifact's
+    seen-CSR or in earlier ingests).  ``new_users``/``new_items`` list ids
+    first observed by this batch that lie beyond the frozen artifact's
+    ``n_users``/``n_items``.
+    """
+
+    accepted: int = 0
+    duplicates: int = 0
+    new_users: list[int] = field(default_factory=list)
+    new_items: list[int] = field(default_factory=list)
+
+
+class StreamState:
+    """Per-user/per-item interaction deltas over one frozen artifact.
+
+    Parameters
+    ----------
+    n_users, n_items:
+        The frozen artifact's counts; ids at or beyond them are new.
+    seen_indptr, seen_indices:
+        Optional baseline seen-CSR (the artifact's training interactions).
+        Events already present there are duplicates, not deltas.
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        n_items: int,
+        seen_indptr: np.ndarray | None = None,
+        seen_indices: np.ndarray | None = None,
+    ):
+        self.n_users = int(n_users)
+        self.n_items = int(n_items)
+        self._seen_indptr = None if seen_indptr is None else np.asarray(seen_indptr, np.int64)
+        self._seen_indices = None if seen_indices is None else np.asarray(seen_indices, np.int64)
+        self._user_delta: dict[int, set[int]] = {}
+        self._item_delta: dict[int, set[int]] = {}
+        self._timestamps: dict[tuple[int, int], float] = {}
+        self.generation = 0
+
+    @classmethod
+    def from_artifact(cls, artifact) -> "StreamState":
+        """State keyed to a loaded :class:`~repro.serve.artifact.ModelArtifact`."""
+        return cls(
+            artifact.n_users,
+            artifact.n_items,
+            artifact.seen_indptr,
+            artifact.seen_indices,
+        )
+
+    # ------------------------------------------------------------------
+    def _in_baseline(self, user: int, item: int) -> bool:
+        if self._seen_indptr is None or not 0 <= user < self.n_users:
+            return False
+        row = self._seen_indices[self._seen_indptr[user] : self._seen_indptr[user + 1]]
+        pos = int(np.searchsorted(row, item))
+        return pos < len(row) and int(row[pos]) == item
+
+    def ingest(self, events) -> IngestReport:
+        """Fold one batch of events into the delta state.
+
+        ``events`` is an iterable of :class:`Event`, ``(user, item)`` or
+        ``(user, item, ts)`` tuples.  Returns an :class:`IngestReport`;
+        bumps :attr:`generation` when the batch changed anything.
+        """
+        report = IngestReport()
+        for event in events:
+            if isinstance(event, Event):
+                user, item, ts = event.user, event.item, event.ts
+            else:
+                user, item = int(event[0]), int(event[1])
+                ts = float(event[2]) if len(event) > 2 else 0.0
+            user, item = int(user), int(item)
+            if user < 0 or item < 0:
+                raise ValueError(f"event ids must be non-negative, got ({user}, {item})")
+            delta = self._user_delta.get(user)
+            if (delta is not None and item in delta) or self._in_baseline(user, item):
+                report.duplicates += 1
+                continue
+            if user >= self.n_users and user not in self._user_delta:
+                report.new_users.append(user)
+            if item >= self.n_items and item not in self._item_delta:
+                report.new_items.append(item)
+            self._user_delta.setdefault(user, set()).add(item)
+            self._item_delta.setdefault(item, set()).add(user)
+            self._timestamps[(user, item)] = ts
+            report.accepted += 1
+        if report.accepted:
+            self.generation += 1
+        report.new_users.sort()
+        report.new_items.sort()
+        return report
+
+    # ------------------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        """Accepted (non-duplicate) events held by the state."""
+        return sum(len(items) for items in self._user_delta.values())
+
+    def items_of(self, user: int) -> np.ndarray:
+        """Sorted new item ids observed for one user."""
+        return np.array(sorted(self._user_delta.get(int(user), ())), dtype=np.int64)
+
+    def users_of(self, item: int) -> np.ndarray:
+        """Sorted user ids observed interacting with one item."""
+        return np.array(sorted(self._item_delta.get(int(item), ())), dtype=np.int64)
+
+    def pending_users(self) -> np.ndarray:
+        """Sorted ids of every user with at least one accepted event."""
+        return np.array(sorted(self._user_delta), dtype=np.int64)
+
+    def new_users(self) -> np.ndarray:
+        """Sorted pending user ids beyond the artifact's ``n_users``."""
+        return np.array(
+            sorted(u for u in self._user_delta if u >= self.n_users), dtype=np.int64
+        )
+
+    def new_items(self) -> np.ndarray:
+        """Sorted observed item ids beyond the artifact's ``n_items``."""
+        return np.array(
+            sorted(i for i in self._item_delta if i >= self.n_items), dtype=np.int64
+        )
+
+    def events(self) -> list[Event]:
+        """The accepted events, sorted by ``(user, item)`` (deterministic)."""
+        out = []
+        for user in sorted(self._user_delta):
+            for item in sorted(self._user_delta[user]):
+                out.append(Event(user, item, self._timestamps.get((user, item), 0.0)))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamState(events={self.n_events}, users={len(self._user_delta)}, "
+            f"new_users={len(self.new_users())}, new_items={len(self.new_items())}, "
+            f"generation={self.generation})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Event files (repro.events/v1)
+# ----------------------------------------------------------------------
+def write_events(events, path) -> Path:
+    """Write events as a ``repro.events/v1`` JSON document."""
+    rows = []
+    for event in events:
+        if isinstance(event, Event):
+            rows.append({"user": int(event.user), "item": int(event.item), "ts": float(event.ts)})
+        else:
+            rows.append(
+                {
+                    "user": int(event[0]),
+                    "item": int(event[1]),
+                    "ts": float(event[2]) if len(event) > 2 else 0.0,
+                }
+            )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"schema": EVENTS_SCHEMA, "events": rows}, indent=1) + "\n")
+    return path
+
+
+def read_events(path) -> list[Event]:
+    """Read a ``repro.events/v1`` document back into :class:`Event` rows."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or doc.get("schema") != EVENTS_SCHEMA:
+        raise ValueError(
+            f"{path} is not a {EVENTS_SCHEMA} document "
+            f"(schema={doc.get('schema') if isinstance(doc, dict) else None!r})"
+        )
+    return [
+        Event(int(row["user"]), int(row["item"]), float(row.get("ts", 0.0)))
+        for row in doc.get("events", [])
+    ]

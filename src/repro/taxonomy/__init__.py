@@ -13,7 +13,7 @@ from .metrics import (
     partition_nmi,
 )
 from .regularizer import taxonomy_regularizer
-from .scoring import bm25_rank, group_item_sets, score_tags
+from .scoring import argmax_tiebreak, bm25_rank, group_item_sets, score_tags
 from .tree import Taxonomy, TaxonomyNode
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "poincare_kmeans_reference",
     "adaptive_cluster",
     "score_tags",
+    "argmax_tiebreak",
     "bm25_rank",
     "group_item_sets",
     "taxonomy_regularizer",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .scoring import score_tags
+from .scoring import argmax_tiebreak, score_tags
 from .tree import Taxonomy, TaxonomyNode
 
 __all__ = ["node_label", "label_taxonomy"]
@@ -48,7 +48,9 @@ def node_label(
             scores = np.ones(len(candidates))
     else:
         return "(empty)"
-    best = int(candidates[int(np.argmax(scores))])
+    # (-score, tag id) tiebreak: equal-scoring candidates label by the
+    # lowest tag id, not whichever happens to sit first in the array.
+    best = int(candidates[argmax_tiebreak(scores, ids=candidates)])
     return tag_names[best] if tag_names else f"tag_{best}"
 
 

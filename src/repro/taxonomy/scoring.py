@@ -20,11 +20,28 @@ import numpy as np
 
 from ..manifolds.constants import DIV_EPS
 
-__all__ = ["group_item_sets", "score_tags", "bm25_rank"]
+__all__ = ["argmax_tiebreak", "group_item_sets", "score_tags", "bm25_rank"]
 
 # BM25 constants, set empirically by the paper (§IV-C1).
 K1 = 1.2
 B = 0.5
+
+
+def argmax_tiebreak(scores: np.ndarray, ids: np.ndarray | None = None) -> int:
+    """Index of the best score under the ``(-score, id)`` order.
+
+    Returns the *position* in ``scores`` whose ``(−score, id)`` pair is
+    smallest; ``ids`` defaults to positions.  Shared by node labelling
+    and the streaming attach router so every taxonomy argmax breaks ties
+    the same way as ``repro.eval.metrics.rank_topk`` — plain
+    ``np.argmax`` resolves ties by array position, which silently
+    depends on construction order.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.size == 0:
+        raise ValueError("argmax_tiebreak needs at least one candidate")
+    ids = np.arange(len(scores)) if ids is None else np.asarray(ids)
+    return int(np.lexsort((ids, -scores))[0])
 
 
 def group_item_sets(item_tags: np.ndarray, groups: list[np.ndarray]) -> list[np.ndarray]:

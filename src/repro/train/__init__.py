@@ -29,6 +29,7 @@ from .experiment import (
     cell_dir_name,
     comparison_table,
     run_experiment,
+    run_staleness_experiment,
 )
 from .run import (
     RUN_SCHEMA,
@@ -66,4 +67,5 @@ __all__ = [
     "cell_dir_name",
     "comparison_table",
     "run_experiment",
+    "run_staleness_experiment",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "cell_dir_name",
     "comparison_table",
     "run_experiment",
+    "run_staleness_experiment",
 ]
 
 EXPERIMENT_SCHEMA = "repro.experiment/v1"
@@ -179,3 +180,69 @@ def run_experiment(
         fh.write("\n")
     (out / "comparison.txt").write_text(table + "\n", encoding="utf-8")
     return ExperimentResult(results=results, table=table, out_dir=out)
+
+
+def run_staleness_experiment(
+    out_dir,
+    *,
+    model: str = "CML",
+    preset: str = "ciao",
+    scale: float = 0.5,
+    n_windows: int = 2,
+    epochs: int = 30,
+    seed: int = 0,
+) -> dict:
+    """Replay a temporal event stream: fold-in vs full retrain per window.
+
+    The online-learning companion to :func:`run_experiment` — instead of
+    sweeping a grid of configurations, it sweeps *time*: a slice of users
+    is withheld from base training and their interactions arrive as an
+    event stream, replayed window by window through the staleness harness
+    (:mod:`repro.stream.staleness`).  The per-window metric decay of
+    fold-in against a periodic full retrain (and the untouched frozen
+    baseline) lands in ``<out_dir>/staleness.json``; the paired *latency*
+    side of the same trade is measured by ``repro.bench --cases stream``.
+    """
+    from ..stream.staleness import StalenessConfig, replay
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    config = StalenessConfig(
+        model=model,
+        preset=preset,
+        scale=scale,
+        n_windows=n_windows,
+        epochs=epochs,
+        seed=seed,
+    )
+    _LOG.info(
+        "staleness: model=%s preset=%s scale=%.2f windows=%d epochs=%d",
+        model, preset, scale, n_windows, epochs,
+    )
+    summary = replay(config)
+    doc = {
+        "schema": EXPERIMENT_SCHEMA,
+        "kind": "staleness",
+        **summary,
+        "created_unix": time.time(),
+    }
+    with open(out / "staleness.json", "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    rows = [
+        [
+            str(w["window"]),
+            str(w["events"]),
+            f"{w['fold_in']['ndcg']:.4f}",
+            f"{w['retrain']['ndcg']:.4f}",
+            f"{w['frozen']['ndcg']:.4f}",
+            f"{w['ratio']:.3f}",
+        ]
+        for w in summary["windows"]
+    ]
+    table = render_table(
+        ["window", "events", "fold-in NDCG@10", "retrain NDCG@10", "frozen NDCG@10", "ratio"],
+        rows,
+    )
+    (out / "staleness.txt").write_text(table + "\n", encoding="utf-8")
+    return doc

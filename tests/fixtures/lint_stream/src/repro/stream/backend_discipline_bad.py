@@ -1,0 +1,19 @@
+"""Fixture: every function here trips ``backend-discipline`` (3 findings).
+
+``repro.stream.*`` is a routed prefix — fold-in gram matrices and the
+tangent-map transcendentals must go through the compute seam.  Each call
+is numerically guarded so the error-severity numerics rules stay silent;
+the only offence is bypassing the backend.
+"""
+
+import numpy as np
+
+
+def foldin_gram_np(design, targets):
+    gram = np.matmul(design.T, design)
+    return gram, design.T @ targets
+
+
+def tangent_log_np(spatial, floor):
+    norm = np.maximum(np.linalg.norm(spatial, axis=-1, keepdims=True), floor)
+    return np.arcsinh(norm) * spatial / norm

@@ -1,0 +1,36 @@
+"""Fixture: the healthy twin of ``backend_discipline_bad`` — zero findings.
+
+Kernel calls go through the seam, the reference twin keeps its
+deliberate direct-numpy body, and structural numpy (searchsorted,
+union1d, linalg.solve) stays allowed — delta bookkeeping and the final
+dense solve are not kernel work.
+"""
+
+import numpy as np
+
+from repro.backend import get_backend
+
+
+def foldin_gram_np(design, targets):
+    xp = get_backend()
+    gram = xp.matmul(design.T, design)
+    return gram, xp.matmul(design.T, targets)
+
+
+def tangent_log_np(spatial, floor):
+    xp = get_backend()
+    norm = np.maximum(xp.norm(spatial, axis=-1, keepdims=True), floor)
+    return xp.arcsinh(norm) * spatial / norm
+
+
+def tangent_log_reference_np(spatial, floor):
+    # Reference twins are backend-independent on purpose: direct numpy is
+    # the fixed point the differential suite compares every solver to.
+    norm = np.maximum(np.linalg.norm(spatial, axis=-1, keepdims=True), floor)
+    return np.arcsinh(norm) * spatial / norm
+
+
+def merge_seen_rows_np(baseline, delta, gram, rhs):
+    merged = np.union1d(baseline, delta)
+    position = np.searchsorted(merged, delta)
+    return merged, position, np.linalg.solve(gram, rhs)

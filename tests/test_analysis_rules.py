@@ -12,6 +12,7 @@ FIXTURES = Path(__file__).parent / "fixtures" / "lint"
 # mini src/ tree that module_name_for_path normalises to repro.* modules.
 BACKEND_FIXTURES = Path(__file__).parent / "fixtures" / "lint_backend"
 RETRIEVAL_FIXTURES = Path(__file__).parent / "fixtures" / "lint_retrieval"
+STREAM_FIXTURES = Path(__file__).parent / "fixtures" / "lint_stream"
 
 # (rule, bad fixture, expected violation count, clean twin)
 CASES = [
@@ -110,6 +111,12 @@ CASES = [
         RETRIEVAL_FIXTURES / "src" / "repro" / "retrieval" / "backend_discipline_bad.py",
         3,
         RETRIEVAL_FIXTURES / "src" / "repro" / "retrieval" / "backend_discipline_clean.py",
+    ),
+    (
+        "backend-discipline",
+        STREAM_FIXTURES / "src" / "repro" / "stream" / "backend_discipline_bad.py",
+        3,
+        STREAM_FIXTURES / "src" / "repro" / "stream" / "backend_discipline_clean.py",
     ),
 ]
 
@@ -231,6 +238,8 @@ def test_backend_discipline_covers_scoring_and_autodiff_modules():
         "src/repro/autodiff/ops.py",
         "src/repro/retrieval/reduction.py",
         "src/repro/retrieval/indexes.py",
+        "src/repro/stream/foldin.py",
+        "src/repro/stream/expand.py",
     ):
         hits = [v for v in analyze_source(source, module) if v.rule == "backend-discipline"]
         assert len(hits) == 1, module

@@ -1,0 +1,159 @@
+"""Incremental taxonomy attach: routing, the tie fix, checkpoint travel.
+
+The regression at the heart of this file: taxonomy argmaxes used to
+resolve equal scores by *array position*, which silently depends on
+construction order.  Both consumers now share
+``repro.taxonomy.scoring.argmax_tiebreak`` — the ``(-score, id)`` order
+of ``rank_topk`` — locked here on constructed score-tie fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import MODEL_REGISTRY, TrainConfig
+from repro.stream import AttachDecision, argmax_tiebreak, attach_tag, attach_tags
+from repro.taxonomy import Taxonomy, TaxonomyNode, from_dict, node_label, to_dict
+
+
+def _two_group_taxonomy() -> Taxonomy:
+    """Root split {0,1,2} / {3,4,5}, each child with singleton grandchildren."""
+    return Taxonomy.from_parent_array(np.array([-1, 0, 0, -1, 3, 3], dtype=np.int64))
+
+
+def _mirrored_item_tags() -> np.ndarray:
+    """Ψ where groups {0,1,2} and {3,4,5} are exact mirrors and the new
+    tag 6 touches both groups identically — every routing score ties."""
+    psi = np.zeros((6, 7))
+    for item, tag in ((0, 0), (1, 1), (2, 2), (3, 3), (4, 4), (5, 5)):
+        psi[item, tag] = 1.0
+    psi[0, 6] = 1.0  # tag 6 on one item of group 0 ...
+    psi[3, 6] = 1.0  # ... and the mirror item of group 1
+    return psi
+
+
+class TestArgmaxTiebreak:
+    def test_plain_max_without_ties(self):
+        assert argmax_tiebreak(np.array([0.1, 0.9, 0.4])) == 1
+
+    def test_tie_resolves_to_lowest_position(self):
+        assert argmax_tiebreak(np.array([1.0, 2.0, 2.0, 0.5])) == 1
+
+    def test_tie_resolves_to_lowest_id_when_ids_given(self):
+        scores = np.array([0.7, 0.7, 0.7])
+        assert argmax_tiebreak(scores, ids=np.array([9, 2, 5])) == 1
+
+    def test_empty_is_an_error(self):
+        with pytest.raises(ValueError):
+            argmax_tiebreak(np.array([]))
+
+
+class TestAttachRouting:
+    def test_score_tie_routes_to_lowest_child_index(self):
+        taxonomy = _two_group_taxonomy()
+        decision = attach_tag(taxonomy, _mirrored_item_tags(), 6)
+        assert decision.path[0] == 0, "tie must resolve to the lowest child index"
+        assert not decision.general
+        assert 6 in taxonomy.root.children[0].members
+        assert 6 not in taxonomy.root.children[1].members
+
+    def test_tag_lands_in_every_node_along_its_path(self):
+        taxonomy = _two_group_taxonomy()
+        rng = np.random.default_rng(5)
+        psi = (rng.random((14, 7)) < 0.4).astype(np.float64)
+        psi[:, 6] = psi[:, 1]  # correlate the new tag with tag 1
+        decision = attach_tag(taxonomy, psi, 6)
+        holders = sum(1 for node in taxonomy.nodes() if 6 in node.members)
+        assert holders == len(decision.path) + 1
+        assert taxonomy.n_tags == 7
+
+    def test_absurd_delta_pushes_up_to_a_general_tag(self):
+        taxonomy = _two_group_taxonomy()
+        decision = attach_tag(taxonomy, _mirrored_item_tags(), 6, delta=1e9)
+        assert decision.general
+        assert decision.path == []
+        assert 6 in taxonomy.root.general_tags
+        assert 6 in taxonomy.root.members
+
+    def test_rejects_out_of_range_and_duplicate_tags(self):
+        taxonomy = _two_group_taxonomy()
+        psi = _mirrored_item_tags()
+        with pytest.raises(ValueError, match="outside"):
+            attach_tag(taxonomy, psi, 7)
+        with pytest.raises(ValueError, match="already"):
+            attach_tag(taxonomy, psi, 3)
+
+    def test_attach_tags_processes_in_ascending_id_order(self):
+        taxonomy = Taxonomy.from_parent_array(np.array([-1, 0, 0, -1, 3, 3], dtype=np.int64))
+        rng = np.random.default_rng(9)
+        psi = (rng.random((10, 9)) < 0.5).astype(np.float64)
+        decisions = attach_tags(taxonomy, psi, [8, 6, 7])
+        assert [d.tag for d in decisions] == [6, 7, 8]
+        for d in decisions:
+            assert set(d.to_dict()) == {"tag", "path", "score", "level", "general"}
+
+    def test_decision_to_dict_is_json_plain(self):
+        decision = AttachDecision(tag=4, path=[1, 0], score=0.25, level=2, general=False)
+        doc = decision.to_dict()
+        assert doc == {"tag": 4, "path": [1, 0], "score": 0.25, "level": 2, "general": False}
+        assert all(isinstance(v, (int, float, bool, list)) for v in doc.values())
+
+
+class TestLabelingTieFix:
+    def test_equal_scores_label_by_lowest_tag_id(self):
+        node = TaxonomyNode(
+            members=np.array([3, 7]),
+            general_tags=np.array([7, 3]),
+            scores=np.array([0.5, 0.5]),
+        )
+        assert node_label(node) == "tag_3"
+
+    def test_label_is_invariant_to_candidate_order(self):
+        for order in ([7, 3], [3, 7]):
+            node = TaxonomyNode(
+                members=np.array([3, 7]),
+                general_tags=np.array(order),
+                scores=np.array([0.5, 0.5]),
+            )
+            assert node_label(node) == "tag_3", order
+
+    def test_member_tie_without_general_tags(self):
+        node = TaxonomyNode(members=np.array([9, 2, 5]), scores=np.array([0.4, 0.4, 0.4]))
+        assert node_label(node) == "tag_2"
+
+
+class TestCheckpointTravel:
+    def test_expanded_taxonomy_round_trips_through_extra_state(self, tiny_split):
+        """Attach → ``extra_state`` → ``load_extra_state`` preserves the tree.
+
+        ``extra_state`` is exactly what ``repro.ckpt/v1`` embeds, so this
+        is the transport the expanded taxonomy rides between sessions.
+        """
+        model = MODEL_REGISTRY["TaxoRec"](tiny_split.train, TrainConfig(epochs=1, seed=3))
+        model.fit(tiny_split)
+        if model.taxonomy is None:
+            model.rebuild_taxonomy()
+        n_tags = model.taxonomy.n_tags
+        psi = np.concatenate(
+            [tiny_split.train.item_tags, tiny_split.train.item_tags[:, :1]], axis=1
+        )
+        decision = attach_tag(model.taxonomy, psi, n_tags)
+        assert model.taxonomy.n_tags == n_tags + 1
+
+        state = model.extra_state()
+        clone = MODEL_REGISTRY["TaxoRec"](tiny_split.train, TrainConfig(epochs=1, seed=3))
+        clone.load_extra_state(state)
+        assert clone.taxonomy is not None
+
+        def canonical(tax):
+            return [
+                (node.level, sorted(node.members.tolist()), sorted(node.general_tags.tolist()))
+                for node in tax.nodes()
+            ]
+
+        assert canonical(clone.taxonomy) == canonical(model.taxonomy)
+        assert clone.taxonomy.n_tags == n_tags + 1
+        # And the plain dict transport agrees with the model's own.
+        assert canonical(from_dict(to_dict(model.taxonomy))) == canonical(model.taxonomy)
+        assert decision.tag == n_tags

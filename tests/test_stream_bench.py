@@ -1,0 +1,119 @@
+"""Staleness harness + the ``stream`` bench case set.
+
+The replay protocol is validated on a micro configuration (metric decay
+structure, fairness of the shared held-out positives); the paired bench
+cases are checked for shape, and a quick end-to-end run must produce a
+valid ``repro.bench/v1`` document whose workload blocks carry the
+fold-in / retrain / frozen metrics the acceptance gates read.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_cases, validate_result
+from repro.bench.stream import stream_cases
+from repro.stream import StalenessConfig, build_context, replay
+from repro.stream.staleness import fold_in_window, frozen_ndcg, retrain_window
+
+MICRO = StalenessConfig(model="CML", preset="ciao", scale=0.08, epochs=1, n_windows=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return build_context(MICRO)
+
+
+def test_context_withholds_stream_users_from_base_training(ctx):
+    base_meta = ctx.base_artifact.meta["dataset"]
+    # Id space is preserved: the base model covers every user row...
+    assert base_meta["n_users"] == ctx.dataset.n_users
+    # ...but stream users carry no baseline interactions (cold rows).
+    for user in ctx.stream_users.tolist():
+        assert len(ctx.base_artifact.seen_items(user)) == 0
+    assert len(ctx.stream_users) >= 1
+
+
+def test_windows_are_cumulative_and_eval_positives_fixed(ctx):
+    sizes = [len(events) for events in ctx.window_events]
+    assert sizes == sorted(sizes)
+    first = {(e.user, e.item) for e in ctx.window_events[0]}
+    last = {(e.user, e.item) for e in ctx.window_events[-1]}
+    assert first <= last
+    evidence_items = {e.item for e in ctx.window_events[-1]}
+    for user, positives in zip(ctx.stream_users.tolist(), ctx.eval_positives):
+        # No policy can be graded on an item another policy masks as seen.
+        per_user_evidence = {e.item for e in ctx.window_events[-1] if e.user == user}
+        assert not (set(positives.tolist()) & per_user_evidence)
+    assert evidence_items  # the stream is non-empty
+
+
+def test_policies_return_metrics_and_foldin_beats_frozen(ctx):
+    frozen = frozen_ndcg(ctx)
+    folded, fold = fold_in_window(ctx, ctx.config.n_windows - 1)
+    assert set(fold) == {"ndcg", "recall"} == set(frozen)
+    assert 0.0 <= fold["ndcg"] <= 1.0
+    # Fold-in consumed the evidence: stream users now have seen items.
+    touched = [u for u in ctx.stream_users.tolist() if len(folded.seen_items(u))]
+    assert touched
+    assert folded.meta["stream"]["generation"] == 1
+    # The evidence should help: fold-in never does worse than doing nothing.
+    assert fold["ndcg"] >= frozen["ndcg"]
+
+
+def test_retrain_window_uses_base_plus_evidence(ctx):
+    artifact, metrics = retrain_window(ctx, 0)
+    assert artifact.meta["dataset"]["n_users"] == ctx.dataset.n_users
+    assert "ndcg" in metrics
+    user = int(ctx.stream_users[0])
+    assert len(artifact.seen_items(user)) >= 1
+
+
+def test_replay_document_structure():
+    doc = replay(MICRO)
+    assert doc["n_stream_users"] >= 1
+    assert len(doc["windows"]) == MICRO.n_windows
+    for record in doc["windows"]:
+        assert set(record) >= {"window", "events", "fold_in", "retrain", "frozen", "ratio"}
+        assert record["ratio"] >= 0.0
+    assert doc["config"]["model"] == "CML"
+
+
+def test_run_staleness_experiment_writes_valid_doc(tmp_path):
+    from repro.train import run_staleness_experiment
+
+    doc = run_staleness_experiment(
+        tmp_path, model="CML", preset="ciao", scale=0.08, n_windows=2, epochs=1, seed=0
+    )
+    assert doc["kind"] == "staleness"
+    on_disk = json.loads((tmp_path / "staleness.json").read_text())
+    assert on_disk["schema"] == "repro.experiment/v1"
+    assert len(on_disk["windows"]) == 2
+    table = (tmp_path / "staleness.txt").read_text()
+    assert "fold-in NDCG@10" in table
+
+
+def test_stream_cases_shape():
+    cases = stream_cases()
+    assert [c.name for c in cases] == [
+        "stream.window0.foldin_vs_retrain",
+        "stream.window1.foldin_vs_retrain",
+    ]
+    assert all(c.group == "stream" for c in cases)
+    assert all(c.reference is not None and c.workload is not None for c in cases)
+
+
+@pytest.mark.slow
+def test_quick_stream_bench_produces_valid_document():
+    result = run_cases(stream_cases(), suite="stream_smoke", quick=True, warmup=0, repeats=1)
+    assert validate_result(result) == []
+    assert result["quick"] is True
+    for record in result["benchmarks"]:
+        workload = record["workload"]
+        assert set(workload["ndcg_at_10"]) == {"fold_in", "retrain", "frozen"}
+        assert workload["ratio"] >= 0.0
+        assert record["speedup"] > 1.0
+        assert np.isfinite(record["fast"]["best_s"])

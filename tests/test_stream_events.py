@@ -1,0 +1,90 @@
+"""Ingest-layer semantics: reports, duplicate detection, event files."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.stream import EVENTS_SCHEMA, Event, StreamState, read_events, write_events
+
+
+def _state_with_baseline():
+    """3 users × 6 items; user 0 has seen {1, 4}, user 2 has seen {0}."""
+    indptr = np.array([0, 2, 2, 3], dtype=np.int64)
+    indices = np.array([1, 4, 0], dtype=np.int64)
+    return StreamState(3, 6, indptr, indices)
+
+
+def test_ingest_counts_and_new_id_tracking():
+    state = _state_with_baseline()
+    report = state.ingest(
+        [
+            Event(0, 2, ts=1.0),  # accepted
+            (0, 1),               # duplicate: in the baseline CSR
+            (0, 2, 2.0),          # duplicate: just ingested
+            (3, 0),               # accepted; user 3 is new
+            (1, 7),               # accepted; item 7 is new
+        ]
+    )
+    assert (report.accepted, report.duplicates) == (3, 2)
+    assert report.new_users == [3]
+    assert report.new_items == [7]
+    assert state.n_events == 3
+    np.testing.assert_array_equal(state.items_of(0), [2])
+    np.testing.assert_array_equal(state.users_of(0), [3])
+    np.testing.assert_array_equal(state.pending_users(), [0, 1, 3])
+    np.testing.assert_array_equal(state.new_users(), [3])
+    np.testing.assert_array_equal(state.new_items(), [7])
+
+
+def test_generation_bumps_only_when_something_changed():
+    state = _state_with_baseline()
+    assert state.generation == 0
+    state.ingest([(0, 2)])
+    assert state.generation == 1
+    state.ingest([(0, 2), (0, 1)])  # all duplicates
+    assert state.generation == 1
+    state.ingest([(1, 1)])
+    assert state.generation == 2
+
+
+def test_negative_ids_are_rejected():
+    state = _state_with_baseline()
+    with pytest.raises(ValueError, match="non-negative"):
+        state.ingest([(-1, 0)])
+    with pytest.raises(ValueError, match="non-negative"):
+        state.ingest([Event(0, -3)])
+
+
+def test_events_come_back_sorted_with_timestamps():
+    state = _state_with_baseline()
+    state.ingest([(1, 5, 9.0), (0, 3, 7.0), (1, 2, 8.0)])
+    assert state.events() == [Event(0, 3, 7.0), Event(1, 2, 8.0), Event(1, 5, 9.0)]
+
+
+def test_event_file_round_trip(tmp_path):
+    events = [Event(0, 3, 7.0), (1, 2), (4, 5, 1.5)]
+    path = write_events(events, tmp_path / "sub" / "events.json")
+    loaded = read_events(path)
+    assert loaded == [Event(0, 3, 7.0), Event(1, 2, 0.0), Event(4, 5, 1.5)]
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == EVENTS_SCHEMA
+
+
+def test_read_events_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "repro.run/v1", "events": []}))
+    with pytest.raises(ValueError, match=EVENTS_SCHEMA.replace(".", r"\.")):
+        read_events(path)
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(ValueError):
+        read_events(path)
+
+
+def test_baseline_free_state_treats_everything_as_new_delta():
+    state = StreamState(2, 2)
+    report = state.ingest([(0, 0), (0, 1), (1, 0)])
+    assert report.accepted == 3
+    assert report.duplicates == 0

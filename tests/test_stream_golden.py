@@ -1,0 +1,201 @@
+"""Golden regression test for the streaming path.
+
+Mirrors ``test_serve_golden.py`` for ``repro.stream``: a committed
+``repro.model/v1`` artifact (``tests/fixtures/stream/golden_model.npz``)
+holds a quantised ``dot_bias`` payload over the golden dataset — every
+embedding entry is a multiple of 1/4, so reduced scores are *exactly*
+representable and bit-stable across BLAS builds.  A committed
+``repro.events/v1`` stream (``golden_events.json``) is folded into it,
+and ``golden_stream.json`` pins:
+
+* the ingest report (accepted/duplicate counts, new ids);
+* the folded provenance block (``meta["stream"]``);
+* every folded user's post-fold-in top-10 — items exactly, scores to
+  twelve decimals;
+* the attach decisions of three new tags routed into a pinned taxonomy
+  (paths exactly, scores to twelve decimals).
+
+Any drift in the fold-in solvers, ridge constant, seen-CSR union, attach
+routing, or tiebreak shows up here as a hard failure.  Regenerate after
+an *intentional* change with::
+
+    PYTHONPATH=src python tests/test_stream_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate, temporal_split
+from repro.serve import RecommenderService, export_payload, load_artifact
+from repro.stream import StreamState, attach_tags, fold_into_artifact, read_events, write_events
+from repro.taxonomy import Taxonomy
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures" / "stream"
+ARTIFACT = FIXTURE_DIR / "golden_model.npz"
+EVENTS = FIXTURE_DIR / "golden_events.json"
+PINNED = FIXTURE_DIR / "golden_stream.json"
+K = 10
+
+
+def _golden_train():
+    cfg = SyntheticConfig(
+        n_users=24,
+        n_items=40,
+        branching=(2, 3),
+        mean_interactions=10.0,
+        seed=17,
+        name="stream-golden",
+    )
+    return temporal_split(generate(cfg)).train
+
+
+def _golden_events():
+    """Pinned stream: existing-user evidence, one new user, one new item."""
+    return [
+        (0, 7, 1.0),
+        (0, 21, 2.0),
+        (3, 5, 3.0),
+        (3, 30, 4.0),
+        (24, 2, 5.0),   # new user
+        (24, 11, 6.0),
+        (24, 40, 7.0),  # new user × new item
+        (5, 40, 8.0),   # existing user touches the new item
+    ]
+
+
+def _golden_taxonomy() -> Taxonomy:
+    """Tags 0..8 in a fixed two-level tree; tags 9..11 arrive via attach."""
+    parent = np.array([-1, 0, 0, -1, 3, 3, -1, 6, 6], dtype=np.int64)
+    return Taxonomy.from_parent_array(parent)
+
+
+def _golden_psi() -> np.ndarray:
+    rng = np.random.default_rng(23)
+    psi = (rng.random((40, 12)) < 0.3).astype(np.float64)
+    psi[:, 9] = psi[:, 1]   # tag 9 mirrors tag 1 exactly
+    psi[:, 10] = psi[:, 4]
+    return psi
+
+
+def _fold():
+    artifact = load_artifact(ARTIFACT)
+    state = StreamState.from_artifact(artifact)
+    report = state.ingest(read_events(EVENTS))
+    return artifact, fold_into_artifact(artifact, state), report
+
+
+@pytest.fixture(scope="module")
+def pinned() -> dict:
+    return json.loads(PINNED.read_text())
+
+
+def test_fixture_artifact_is_quantised_and_valid():
+    artifact = load_artifact(ARTIFACT)
+    assert artifact.meta["schema"] == "repro.model/v1"
+    assert artifact.score_fn == "dot_bias"
+    for key in ("user", "item", "item_bias"):
+        arr = artifact.arrays[key]
+        np.testing.assert_array_equal(arr * 4.0, np.round(arr * 4.0))
+
+
+def test_ingest_report_matches_pins(pinned):
+    _, _, report = _fold()
+    assert report.accepted == pinned["report"]["accepted"]
+    assert report.duplicates == pinned["report"]["duplicates"]
+    assert report.new_users == pinned["report"]["new_users"]
+    assert report.new_items == pinned["report"]["new_items"]
+
+
+def test_fold_provenance_matches_pins(pinned):
+    _, folded, _ = _fold()
+    assert folded.meta["stream"] == pinned["stream"]
+    assert folded.n_users == pinned["n_users"]
+    assert folded.n_items == pinned["n_items"]
+
+
+def test_post_foldin_topk_pinned_to_twelve_decimals(pinned):
+    _, folded, _ = _fold()
+    service = RecommenderService(folded)
+    for row, user in enumerate(pinned["users"]):
+        items, scores = service.recommend(int(user), k=pinned["k"], exclude_seen=True)
+        assert [int(i) for i in items] == pinned["topk"]["items"][row], f"user {user}"
+        for served, expected in zip(scores, pinned["topk"]["scores"][row]):
+            assert served == pytest.approx(expected, abs=1e-12), f"user {user}"
+
+
+def test_attach_decisions_pinned(pinned):
+    taxonomy = _golden_taxonomy()
+    decisions = attach_tags(taxonomy, _golden_psi(), [9, 10, 11])
+    assert len(decisions) == len(pinned["attach"])
+    for decision, expected in zip(decisions, pinned["attach"]):
+        doc = decision.to_dict()
+        assert doc["tag"] == expected["tag"]
+        assert doc["path"] == expected["path"]
+        assert doc["level"] == expected["level"]
+        assert doc["general"] == expected["general"]
+        assert doc["score"] == pytest.approx(expected["score"], abs=1e-12)
+    assert taxonomy.n_tags == 12
+
+
+def _regenerate() -> None:
+    train = _golden_train()
+    rng = np.random.default_rng(2024)
+    d = 8
+    # Multiples of 1/4 in [-2, 2]: dot products are exact in float64.
+    user = rng.integers(-8, 9, size=(train.n_users, d)) / 4.0
+    item = rng.integers(-8, 9, size=(train.n_items, d)) / 4.0
+    bias = rng.integers(-4, 5, size=train.n_items) / 4.0
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    export_payload(
+        ARTIFACT,
+        score_fn="dot_bias",
+        arrays={"user": user, "item": item, "item_bias": bias},
+        train=train,
+        model_name="GoldenDotBias",
+        source="tests/test_stream_golden.py --regenerate",
+    )
+    write_events(_golden_events(), EVENTS)
+
+    artifact, folded, report = _fold()
+    service = RecommenderService(folded)
+    users = sorted(set(folded.meta["stream"]["folded_users"]))
+    items_out, scores_out = [], []
+    for user_id in users:
+        items, values = service.recommend(int(user_id), k=K, exclude_seen=True)
+        items_out.append([int(i) for i in items])
+        scores_out.append([round(float(v), 12) for v in values])
+
+    decisions = attach_tags(_golden_taxonomy(), _golden_psi(), [9, 10, 11])
+    doc = {
+        "k": K,
+        "n_users": folded.n_users,
+        "n_items": folded.n_items,
+        "report": {
+            "accepted": report.accepted,
+            "duplicates": report.duplicates,
+            "new_users": report.new_users,
+            "new_items": report.new_items,
+        },
+        "stream": folded.meta["stream"],
+        "users": users,
+        "topk": {"items": items_out, "scores": scores_out},
+        "attach": [
+            {**d.to_dict(), "score": round(float(d.score), 12)} for d in decisions
+        ],
+    }
+    PINNED.write_text(json.dumps(doc, indent=1) + "\n")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+        print(f"regenerated {ARTIFACT}, {EVENTS} and {PINNED}")  # repro-lint: disable=print-call
+    else:
+        print(__doc__)  # repro-lint: disable=print-call

@@ -337,3 +337,86 @@ class TestAlphaDifferential:
             personalized_tag_weights_reference(tiny_split.train),
             atol=TOL,
         )
+
+
+# ----------------------------------------------------------------------
+# Streaming fold-in solvers
+# ----------------------------------------------------------------------
+class TestFoldInDifferential:
+    """Routed fold-in solvers vs the pure-numpy twin, per score-fn family."""
+
+    def _payload(self, score_fn: str, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        n_items, d = 20, 6
+        if score_fn in ("neg_sq_lorentz", "two_channel_lorentz"):
+            spatial = rng.normal(0.0, 0.5, size=(n_items, d - 1))
+            rows = np.concatenate(
+                [np.sqrt(1.0 + (spatial**2).sum(axis=1, keepdims=True)), spatial], axis=1
+            )
+        else:
+            rows = rng.normal(0.0, 0.5, size=(n_items, d))
+        arrays = {"item": rows, "user": rows[:7].copy()}
+        if score_fn == "dot_bias":
+            arrays["item_bias"] = rng.normal(0.0, 0.2, size=n_items)
+        if score_fn == "dot_aspect":
+            arrays["item_aspect"] = rng.normal(0.0, 0.5, size=(n_items, d))
+            arrays["user_aspect"] = rng.normal(0.0, 0.5, size=(7, d))
+            arrays["aspect_weight"] = np.asarray(0.5)
+        if score_fn.startswith("two_channel"):
+            arrays = {
+                "item_ir": rows,
+                "item_tg": rows[::-1].copy(),
+                "user_ir": rows[:7].copy(),
+                "user_tg": rows[5:12].copy(),
+                "alpha": rng.random(7),
+            }
+        return arrays
+
+    @pytest.mark.parametrize(
+        "score_fn",
+        [
+            "neg_sq_euclid",
+            "neg_sq_lorentz",
+            "dot",
+            "dot_bias",
+            "dot_aspect",
+            "two_channel_euclid",
+            "two_channel_lorentz",
+        ],
+    )
+    def test_matches_reference_with_and_without_prior(self, score_fn):
+        from repro.stream import fold_in_user, fold_in_user_reference, origin_rows
+
+        arrays = self._payload(score_fn)
+        item_ids = np.array([0, 3, 7, 11], dtype=np.int64)
+        prior = origin_rows(score_fn, arrays, side="user")
+        for kwargs in (
+            {"prior": None, "prior_weight": 0.0},
+            {"prior": prior, "prior_weight": 4.0},
+        ):
+            fast = fold_in_user(score_fn, arrays, item_ids, **kwargs)
+            slow = fold_in_user_reference(score_fn, arrays, item_ids, **kwargs)
+            assert set(fast) == set(slow)
+            for key in fast:
+                np.testing.assert_allclose(
+                    np.asarray(fast[key]), np.asarray(slow[key]), atol=TOL, err_msg=key
+                )
+
+    def test_single_item_and_empty_prior_paths(self):
+        from repro.stream import fold_in_user, fold_in_user_reference
+
+        arrays = self._payload("neg_sq_lorentz", seed=4)
+        one = np.array([5], dtype=np.int64)
+        np.testing.assert_allclose(
+            fold_in_user("neg_sq_lorentz", arrays, one)["user"],
+            fold_in_user_reference("neg_sq_lorentz", arrays, one)["user"],
+            atol=TOL,
+        )
+        prior = {"user": arrays["item"][2].copy()}
+        empty = np.array([], dtype=np.int64)
+        np.testing.assert_array_equal(
+            fold_in_user("neg_sq_lorentz", arrays, empty, prior=prior, prior_weight=3.0)["user"],
+            fold_in_user_reference(
+                "neg_sq_lorentz", arrays, empty, prior=prior, prior_weight=3.0
+            )["user"],
+        )
